@@ -1,0 +1,54 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one paper artifact (table or figure) and prints
+the same rows/series the paper reports, so `pytest benchmarks/
+--benchmark-only -s` doubles as the experiment runner. Because a single
+run of an experiment can take seconds to minutes, benchmarks execute
+exactly one round via ``benchmark.pedantic``.
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
+
+- ``quick``  — smoke-scale budgets (CI-friendly, minutes total);
+- ``default``— scaled-down but meaningful learning schedules (the
+  reported numbers in EXPERIMENTS.md use this);
+- ``paper``  — the paper's own 10 000-25 000-step schedules (hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import HarnessConfig
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def harness_for_scale() -> HarnessConfig:
+    if SCALE == "paper":
+        return HarnessConfig.paper()
+    if SCALE == "default":
+        return HarnessConfig(
+            twig_steps=8_000,
+            twig_epsilon_mid=3_000,
+            twig_epsilon_final=6_000,
+            hipster_steps=4_000,
+            hipster_learning_phase=2_500,
+        )
+    return HarnessConfig.quick()
+
+
+@pytest.fixture
+def harness() -> HarnessConfig:
+    return harness_for_scale()
+
+
+@pytest.fixture
+def scale() -> str:
+    return SCALE
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 9 (Twig-C transfer learning)."""
+
+import numpy as np
+from conftest import SCALE, run_once
+
+from repro.experiments.fig09_transfer_c import Fig09Config, run
+
+
+def test_fig09_transfer_c(benchmark):
+    if SCALE == "paper":
+        config = Fig09Config(pretrain_steps=10_000, adapt_steps=6_000)
+    elif SCALE == "default":
+        config = Fig09Config()
+    else:
+        config = Fig09Config(pretrain_steps=2_500, adapt_steps=1_500, bucket=250)
+    result = run_once(benchmark, lambda: run(config))
+    print()
+    print(result.format_table())
+    # Shape: after the swap, the transferred agent recovers a decent QoS
+    # guarantee for the new service by the end of the adaptation window.
+    new_floor, kept_floor = (40.0, 50.0) if SCALE == "quick" else (65.0, 75.0)
+    assert np.mean(result.transfer_qos_new[-2:]) > new_floor
+    # The kept service keeps its QoS through the swap.
+    assert np.mean(result.transfer_qos_kept[-2:]) > kept_floor

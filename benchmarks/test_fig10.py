@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 10 (varying load, img-dnn)."""
+
+from conftest import SCALE, harness_for_scale, run_once
+
+from repro.experiments.fig10_varying_s import Fig10Config, run
+
+
+def test_fig10_varying_s(benchmark):
+    harness = harness_for_scale()
+    if SCALE == "quick":
+        config = Fig10Config(harness=harness, measure_steps=800, step_every=80)
+    else:
+        config = Fig10Config(harness=harness)
+    result = run_once(benchmark, lambda: run(config))
+    print()
+    print(result.format_table())
+    twig = result.summaries["twig-s"]
+    heracles = result.summaries["heracles"]
+    # Shape (paper): Heracles holds QoS by brute force but burns more
+    # energy than Twig-S under load variation.
+    slack = 0.05 if SCALE == "quick" else 0.0
+    assert twig.normalized_energy < heracles.normalized_energy + slack
+    qos_floor = 65.0 if SCALE == "quick" else 80.0
+    assert list(twig.qos_guarantee.values())[0] > qos_floor

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the Section V-B1 memory-complexity comparison."""
+
+from conftest import run_once
+
+from repro.experiments.mem_complexity import MemComplexityConfig, run
+
+
+def test_mem_complexity(benchmark):
+    result = run_once(benchmark, lambda: run(MemComplexityConfig()))
+    print()
+    print(result.format_table())
+    # Paper's claims: the hypothetical Hipster table is in the terabytes,
+    # Twig's network stays under 5 MB.
+    assert result.hipster_hypothetical_bytes > 1e12
+    assert result.twig_bytes < 5e6
+    assert result.twig_parameter_count < 1_000_000

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no `wheel` package, so
+PEP 517 editable installs (which need to build a wheel) fail. This shim lets
+`pip install -e . --no-build-isolation --no-use-pep517` (and plain
+`python setup.py develop`) work offline. All metadata lives in pyproject.toml
+and is mirrored here minimally.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

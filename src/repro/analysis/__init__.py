@@ -1,0 +1,27 @@
+"""Analysis helpers: distribution statistics and terminal rendering.
+
+- :mod:`repro.analysis.stats` — histogram/KDE-style densities, violin-plot
+  statistics (the per-bucket medians/IQRs of Figure 1), and bootstrap
+  confidence intervals for run summaries.
+- :mod:`repro.analysis.textplot` — dependency-free terminal charts
+  (sparklines, horizontal bars, series tables) used by the CLI and the
+  experiment reports.
+"""
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    histogram_density,
+    summary_quantiles,
+    violin_stats,
+)
+from repro.analysis.textplot import bar_chart, series_table, sparkline
+
+__all__ = [
+    "bar_chart",
+    "bootstrap_ci",
+    "histogram_density",
+    "series_table",
+    "sparkline",
+    "summary_quantiles",
+    "violin_stats",
+]

@@ -1,0 +1,152 @@
+"""Distribution statistics for experiment analysis.
+
+These are the numerical backbones of the paper's Figure 1 plots: the
+probability-density view of prediction errors (left column) and the
+per-latency-bucket violin statistics (right column), plus bootstrap
+confidence intervals for comparing run summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+@dataclass(frozen=True)
+class Density:
+    """A normalised histogram density estimate."""
+
+    centers: np.ndarray
+    density: np.ndarray
+    bin_width: float
+
+    def at(self, value: float) -> float:
+        """Density at a value (0 outside the support)."""
+        index = int((value - (self.centers[0] - self.bin_width / 2)) // self.bin_width)
+        if 0 <= index < len(self.density):
+            return float(self.density[index])
+        return 0.0
+
+    @property
+    def mode(self) -> float:
+        return float(self.centers[int(np.argmax(self.density))])
+
+
+def histogram_density(
+    samples: Sequence[float],
+    bins: int = 50,
+    bounds: Optional[Tuple[float, float]] = None,
+) -> Density:
+    """Histogram-based probability density (integrates to 1)."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size < 2:
+        raise ConfigurationError("need at least two samples for a density")
+    if bins < 2:
+        raise ConfigurationError(f"bins must be >= 2, got {bins}")
+    if bounds is None:
+        low, high = float(data.min()), float(data.max())
+        if low == high:
+            low, high = low - 0.5, high + 0.5
+    else:
+        low, high = bounds
+        if not low < high:
+            raise ConfigurationError(f"invalid bounds {bounds}")
+    counts, edges = np.histogram(data, bins=bins, range=(low, high), density=True)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return Density(centers=centers, density=counts, bin_width=float(edges[1] - edges[0]))
+
+
+@dataclass(frozen=True)
+class ViolinBucket:
+    """Violin statistics of one x-axis bucket (Figure 1b/1d)."""
+
+    low: float
+    high: float
+    count: int
+    median: float
+    q25: float
+    q75: float
+    whisker_low: float
+    whisker_high: float
+
+
+def violin_stats(
+    x: Sequence[float],
+    y: Sequence[float],
+    buckets: int = 5,
+    min_count: int = 3,
+) -> List[ViolinBucket]:
+    """Per-x-quantile-bucket distribution statistics of ``y``.
+
+    Buckets are x-quantile ranges (equal-population), matching how the
+    paper groups prediction errors by measured tail-latency range.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ShapeError(f"x shape {x.shape} != y shape {y.shape}")
+    if buckets < 1:
+        raise ConfigurationError(f"buckets must be >= 1, got {buckets}")
+    edges = np.quantile(x, np.linspace(0.0, 1.0, buckets + 1))
+    out: List[ViolinBucket] = []
+    for low, high in zip(edges, edges[1:]):
+        mask = (x >= low) & (x <= high)
+        values = y[mask]
+        if values.size < min_count:
+            continue
+        q25, median, q75 = np.percentile(values, [25, 50, 75])
+        out.append(
+            ViolinBucket(
+                low=float(low),
+                high=float(high),
+                count=int(values.size),
+                median=float(median),
+                q25=float(q25),
+                q75=float(q75),
+                whisker_low=float(np.percentile(values, 2.5)),
+                whisker_high=float(np.percentile(values, 97.5)),
+            )
+        )
+    return out
+
+
+def summary_quantiles(
+    samples: Sequence[float],
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+) -> dict:
+    """Named quantiles plus mean/std of a sample set."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ConfigurationError("summary_quantiles needs at least one sample")
+    out = {"mean": float(data.mean()), "std": float(data.std())}
+    for q in quantiles:
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
+        out[f"p{round(q * 100):d}"] = float(np.quantile(data, q))
+    return out
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for a statistic."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size < 2:
+        raise ConfigurationError("need at least two samples for a bootstrap CI")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    rng = rng or np.random.default_rng(0)
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resample = data[rng.integers(0, data.size, size=data.size)]
+        stats[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(stats, alpha)), float(np.quantile(stats, 1.0 - alpha))

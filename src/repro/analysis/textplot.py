@@ -1,0 +1,90 @@
+"""Dependency-free terminal charts.
+
+The experiment reports and the CLI render time series and comparisons
+directly in the terminal: sparklines for learning curves, horizontal bar
+charts for normalised-energy comparisons, and aligned series tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR_CHAR = "█"
+
+
+def sparkline(
+    values: Sequence[float],
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> str:
+    """A one-line unicode sparkline of a series."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise ConfigurationError("sparkline needs at least one value")
+    lo = float(data.min()) if low is None else low
+    hi = float(data.max()) if high is None else high
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * data.size
+    scaled = (data - lo) / (hi - lo)
+    indices = np.clip((scaled * (len(_SPARK_LEVELS) - 1)).round(), 0, len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(i)] for i in indices)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart with aligned labels.
+
+    ``reference`` draws all bars relative to that value instead of the
+    maximum (useful for normalised-energy plots where 1.0 = static).
+    """
+    if not values:
+        raise ConfigurationError("bar_chart needs at least one entry")
+    if width < 5:
+        raise ConfigurationError(f"width must be >= 5, got {width}")
+    top = reference if reference is not None else max(values.values())
+    if top <= 0:
+        raise ConfigurationError("bar scale must be positive")
+    label_width = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        filled = int(round(min(value / top, 1.0) * width))
+        bar = _BAR_CHAR * filled + "·" * (width - filled)
+        lines.append(f"{name:<{label_width}s} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_table(
+    columns: Mapping[str, Sequence[float]],
+    index: Optional[Sequence] = None,
+    index_name: str = "step",
+    float_format: str = "{:8.2f}",
+) -> str:
+    """Aligned multi-column table for time series."""
+    if not columns:
+        raise ConfigurationError("series_table needs at least one column")
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(f"columns have mismatched lengths: {lengths}")
+    n = lengths.pop()
+    if index is None:
+        index = list(range(n))
+    if len(index) != n:
+        raise ConfigurationError("index length does not match columns")
+    names = list(columns)
+    header = f"{index_name:>8s} " + " ".join(f"{name:>10s}" for name in names)
+    lines = [header]
+    for i in range(n):
+        row = f"{str(index[i]):>8s} " + " ".join(
+            f"{float_format.format(columns[name][i]):>10s}" for name in names
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Baseline task managers the paper compares Twig against.
+
+All were re-implemented from their papers' documentation, as the paper
+itself did (Section V-A):
+
+- :mod:`repro.baselines.static` — the static baseline: every service on
+  all cores of the server socket at the maximum DVFS state.
+- :mod:`repro.baselines.hipster` — Hipster (Nishtala et al., HPCA 2017):
+  a heuristic + tabular-Q hybrid for a single LC service.
+- :mod:`repro.baselines.heracles` — Heracles (Lo et al., ISCA 2015): a
+  three-level feedback controller (main / core+memory / power).
+- :mod:`repro.baselines.parties` — PARTIES (Chen et al., ASPLOS 2019): a
+  one-resource-at-a-time feedback controller for colocated services.
+
+Additionally, :mod:`repro.baselines.oracle` provides a clairvoyant
+upper-bound reference (not in the paper): the offline-optimal static
+allocation per load level.
+"""
+
+from repro.baselines.heracles import HeraclesManager
+from repro.baselines.oracle import OracleManager
+from repro.baselines.hipster import HipsterManager
+from repro.baselines.parties import PartiesManager
+from repro.baselines.static import StaticManager
+
+__all__ = [
+    "HeraclesManager",
+    "OracleManager",
+    "HipsterManager",
+    "PartiesManager",
+    "StaticManager",
+]

@@ -1,0 +1,121 @@
+"""Heracles (Lo et al., ISCA 2015), re-implemented per Section V-A.
+
+Heracles is a multi-level feedback controller for a single LC service:
+
+- The **main controller** polls every 15 s; if the LC service violated its
+  tail-latency target or its load exceeds 85 % of maximum, it allocates
+  *all* resources to the LC service for 5 minutes.
+- The **core & memory controller** polls every 2 s; if tail latency is at
+  or above 80 % of the target, or measured memory bandwidth has grown, the
+  LC service gains a core, otherwise it loses one.
+- The **power controller** polls every 2 s; it lowers the DVFS setting
+  when socket power reaches 90 % of TDP (and restores it otherwise).
+
+Intel CAT is part of the original system but, like the paper, we do not
+model it. The behaviours the paper attributes to Heracles — over-allocation
+of cores despite QoS slack, long full-allocation lockouts, DVFS pinned
+high until the power cap — follow directly from these rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.actions import Allocation
+from repro.core.manager import TaskManager
+from repro.core.mapper import Mapper
+from repro.errors import ConfigurationError
+from repro.server.machine import CoreAssignment
+from repro.server.spec import ServerSpec
+from repro.services.profiles import ServiceProfile
+from repro.sim.environment import StepResult
+
+
+class HeraclesManager(TaskManager):
+    """Three-level feedback controller for one LC service."""
+
+    name = "heracles"
+
+    def __init__(
+        self,
+        profile: ServiceProfile,
+        spec: Optional[ServerSpec] = None,
+        socket_index: int = 1,
+        qos_target_ms: Optional[float] = None,
+        main_poll_every: int = 15,
+        controller_poll_every: int = 2,
+        lockout_steps: int = 300,           # "5 min" of 1 s intervals
+        load_threshold: float = 0.85,
+        latency_grow_threshold: float = 0.80,
+        power_cap_fraction: float = 0.90,
+    ):
+        if main_poll_every <= 0 or controller_poll_every <= 0:
+            raise ConfigurationError("poll periods must be positive")
+        self.spec = spec or ServerSpec()
+        self.profile = profile
+        self.qos_target_ms = qos_target_ms if qos_target_ms is not None else profile.qos_target_ms
+        self.main_poll_every = main_poll_every
+        self.controller_poll_every = controller_poll_every
+        self.lockout_steps = lockout_steps
+        self.load_threshold = load_threshold
+        self.latency_grow_threshold = latency_grow_threshold
+        self.power_cap_fraction = power_cap_fraction
+        self.mapper = Mapper(self.spec, socket_index=socket_index)
+
+        self.cores = self.spec.cores_per_socket
+        self.freq_index = len(self.spec.dvfs) - 1
+        self.step_count = 0
+        self._lockout_until = 0
+        self._last_membw = 0.0
+
+    # ------------------------------------------------------------------ #
+    # TaskManager interface
+    # ------------------------------------------------------------------ #
+    def initial_assignments(self) -> Dict[str, CoreAssignment]:
+        return self._assign()
+
+    def update(self, result: StepResult) -> Dict[str, CoreAssignment]:
+        observation = result.observations[self.profile.name]
+        p99 = observation.p99_ms
+        load_fraction = observation.interval.arrival_rate / self.profile.max_load_rps
+        membw = observation.interval.membw_gbps
+        self.step_count += 1
+
+        if self.step_count % self.main_poll_every == 0:
+            if p99 > self.qos_target_ms or load_fraction > self.load_threshold:
+                # Disallow sharing: everything to the LC service for 5 min.
+                self._lockout_until = self.step_count + self.lockout_steps
+                self.cores = self.spec.cores_per_socket
+                self.freq_index = len(self.spec.dvfs) - 1
+
+        in_lockout = self.step_count < self._lockout_until
+        if not in_lockout and self.step_count % self.controller_poll_every == 0:
+            self._core_controller(p99, membw)
+            self._power_controller(result.socket_power_w)
+
+        self._last_membw = membw
+        return self._assign()
+
+    # ------------------------------------------------------------------ #
+    # controllers
+    # ------------------------------------------------------------------ #
+    def _core_controller(self, p99_ms: float, membw_gbps: float) -> None:
+        latency_high = p99_ms >= self.latency_grow_threshold * self.qos_target_ms
+        # 5% hysteresis so ordinary arrival jitter does not read as growth.
+        membw_grew = membw_gbps > self._last_membw * 1.05
+        if latency_high or membw_grew:
+            self.cores = min(self.cores + 1, self.spec.cores_per_socket)
+        else:
+            self.cores = max(self.cores - 1, 1)
+
+    def _power_controller(self, socket_power_w: float) -> None:
+        if socket_power_w >= self.power_cap_fraction * self.spec.tdp_w:
+            self.freq_index = max(self.freq_index - 1, 0)
+        else:
+            # Heracles keeps the LC service's frequency as high as the power
+            # budget allows.
+            self.freq_index = min(self.freq_index + 1, len(self.spec.dvfs) - 1)
+
+    def _assign(self) -> Dict[str, CoreAssignment]:
+        allocation = Allocation(num_cores=self.cores, freq_index=self.freq_index)
+        return self.mapper.map({self.profile.name: allocation})

@@ -1,0 +1,156 @@
+"""PARTIES (Chen et al., ASPLOS 2019), re-implemented per Section V-A.
+
+PARTIES adjusts one resource at a time, for one service at a time, every
+2 s:
+
+- It identifies the service *closest to* its tail-latency target; if that
+  service's latency is at or above 95 % of its target, PARTIES grows one of
+  its resources (core count or DVFS — Intel CAT and memory capacity are
+  part of the original system but, as in the paper's testbed, unused).
+- Otherwise it *reclaims* a resource from the service with the largest
+  slack, one resource at a time, making sure QoS is not violated: if the
+  previous downsizing caused a violation, the adjustment is reverted and a
+  different resource is tried next time.
+
+The behaviours the paper attributes to PARTIES — serialised upsizing,
+ping-ponging mapping decisions, and no anticipation of violations — follow
+from these rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.actions import Allocation
+from repro.core.manager import TaskManager
+from repro.core.mapper import Mapper
+from repro.errors import ConfigurationError
+from repro.server.machine import CoreAssignment
+from repro.server.spec import ServerSpec
+from repro.services.profiles import ServiceProfile
+from repro.sim.environment import StepResult
+
+_RESOURCES = ("cores", "dvfs")
+
+
+class PartiesManager(TaskManager):
+    """One-resource-at-a-time feedback controller for colocated services."""
+
+    name = "parties"
+
+    def __init__(
+        self,
+        profiles: Sequence[ServiceProfile],
+        rng: np.random.Generator,
+        spec: Optional[ServerSpec] = None,
+        socket_index: int = 1,
+        poll_every: int = 2,
+        upsize_threshold: float = 0.95,
+        downsize_threshold: float = 0.70,
+        qos_targets: Optional[Mapping[str, float]] = None,
+    ):
+        if not profiles:
+            raise ConfigurationError("PartiesManager needs at least one service")
+        if poll_every <= 0:
+            raise ConfigurationError(f"poll_every must be positive, got {poll_every}")
+        self.spec = spec or ServerSpec()
+        self.profiles = {p.name: p for p in profiles}
+        self.service_order = [p.name for p in profiles]
+        self.qos_targets = {
+            name: (qos_targets or {}).get(name, self.profiles[name].qos_target_ms)
+            for name in self.service_order
+        }
+        self._rng = rng
+        self.poll_every = poll_every
+        self.upsize_threshold = upsize_threshold
+        self.downsize_threshold = downsize_threshold
+        self.mapper = Mapper(self.spec, socket_index=socket_index)
+
+        top = len(self.spec.dvfs) - 1
+        share = max(1, self.spec.cores_per_socket // max(len(profiles), 1))
+        self.allocations: Dict[str, Allocation] = {
+            name: Allocation(num_cores=share, freq_index=top) for name in self.service_order
+        }
+        self.step_count = 0
+        # Remembers the last downsizing (service, resource, old allocation)
+        # so a violation can be reverted and another resource tried.
+        self._last_downsize: Optional[Tuple[str, str, Allocation]] = None
+        self._avoid_resource: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # TaskManager interface
+    # ------------------------------------------------------------------ #
+    def initial_assignments(self) -> Dict[str, CoreAssignment]:
+        return self.mapper.map(self.allocations)
+
+    def update(self, result: StepResult) -> Dict[str, CoreAssignment]:
+        self.step_count += 1
+        if self.step_count % self.poll_every != 0:
+            return self.mapper.map(self.allocations)
+
+        ratios = {
+            name: result.observations[name].p99_ms / self.qos_targets[name]
+            for name in self.service_order
+        }
+
+        # Revert a downsizing that caused a violation, and blacklist the
+        # resource for that service's next reclaim.
+        if self._last_downsize is not None:
+            name, resource, previous = self._last_downsize
+            if ratios[name] > 1.0:
+                self.allocations[name] = previous
+                self._avoid_resource[name] = resource
+                self._last_downsize = None
+                return self.mapper.map(self.allocations)
+            self._last_downsize = None
+
+        closest = max(self.service_order, key=lambda n: ratios[n])
+        if ratios[closest] >= self.upsize_threshold:
+            self._upsize(closest)
+        else:
+            slackest = min(self.service_order, key=lambda n: ratios[n])
+            if ratios[slackest] < self.downsize_threshold:
+                self._downsize(slackest)
+        return self.mapper.map(self.allocations)
+
+    # ------------------------------------------------------------------ #
+    # adjustments
+    # ------------------------------------------------------------------ #
+    def _pick_resource(self, service: str) -> str:
+        avoid = self._avoid_resource.get(service)
+        choices = [r for r in _RESOURCES if r != avoid] or list(_RESOURCES)
+        return choices[int(self._rng.integers(0, len(choices)))]
+
+    def _upsize(self, service: str) -> None:
+        allocation = self.allocations[service]
+        resource = self._pick_resource(service)
+        if resource == "cores" and allocation.num_cores < self.spec.cores_per_socket:
+            self.allocations[service] = Allocation(
+                allocation.num_cores + 1, allocation.freq_index
+            )
+        elif allocation.freq_index < len(self.spec.dvfs) - 1:
+            self.allocations[service] = Allocation(
+                allocation.num_cores, allocation.freq_index + 1
+            )
+        elif allocation.num_cores < self.spec.cores_per_socket:
+            self.allocations[service] = Allocation(
+                allocation.num_cores + 1, allocation.freq_index
+            )
+
+    def _downsize(self, service: str) -> None:
+        allocation = self.allocations[service]
+        resource = self._pick_resource(service)
+        new_allocation = allocation
+        if resource == "cores" and allocation.num_cores > 1:
+            new_allocation = Allocation(allocation.num_cores - 1, allocation.freq_index)
+        elif allocation.freq_index > 0:
+            resource = "dvfs"
+            new_allocation = Allocation(allocation.num_cores, allocation.freq_index - 1)
+        elif allocation.num_cores > 1:
+            resource = "cores"
+            new_allocation = Allocation(allocation.num_cores - 1, allocation.freq_index)
+        if new_allocation is not allocation:
+            self.allocations[service] = new_allocation
+            self._last_downsize = (service, resource, allocation)

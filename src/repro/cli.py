@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+- ``list``               — show every reproducible paper artifact.
+- ``run <id>``           — run one experiment and print its table
+  (``--scale quick|default|paper`` picks the step budget).
+- ``capacity``           — print the simulated platform and Table-II view.
+- ``compare``            — one-cell Twig-S vs baselines comparison with a
+  terminal bar chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Optional
+
+from repro.analysis.textplot import bar_chart
+from repro.experiments import REGISTRY, run_experiment
+from repro.experiments.common import HarnessConfig
+
+
+def _harness(scale: str) -> HarnessConfig:
+    if scale == "paper":
+        return HarnessConfig.paper()
+    if scale == "default":
+        return HarnessConfig(
+            twig_steps=8_000,
+            twig_epsilon_mid=3_000,
+            twig_epsilon_final=6_000,
+            hipster_steps=4_000,
+            hipster_learning_phase=2_500,
+        )
+    return HarnessConfig.quick()
+
+
+def _config_for(experiment_id: str, scale: str) -> Optional[Any]:
+    """Scale-appropriate config for experiments that take a harness."""
+    harness = _harness(scale)
+    if experiment_id == "fig05":
+        from repro.experiments.fig05_twig_s_fixed import Fig05Config
+
+        if scale == "quick":
+            return Fig05Config(
+                services=("masstree", "moses"), load_fractions=(0.2, 0.5), harness=harness
+            )
+        return Fig05Config(harness=harness)
+    if experiment_id == "fig06":
+        from repro.experiments.fig06_mapping_single import Fig06Config
+
+        return Fig06Config(harness=harness)
+    if experiment_id == "fig10":
+        from repro.experiments.fig10_varying_s import Fig10Config
+
+        return Fig10Config(harness=harness)
+    if experiment_id == "fig11":
+        from repro.experiments.fig11_varying_c import Fig11Config
+
+        return Fig11Config(harness=harness)
+    if experiment_id == "fig12":
+        from repro.experiments.fig12_mapping_coloc import Fig12Config
+
+        return Fig12Config(harness=harness)
+    if experiment_id == "fig13":
+        from repro.experiments.fig13_twig_c_fixed import Fig13Config
+
+        if scale == "quick":
+            return Fig13Config(harness=harness, levels=(0.2, 0.5), pairs_limit=2)
+        return Fig13Config(harness=harness)
+    if experiment_id == "fig01" and scale == "quick":
+        from repro.experiments.fig01_pmc_prediction import Fig01Config
+
+        return Fig01Config(samples=1_200, epochs=300)
+    if experiment_id == "tab01" and scale == "quick":
+        from repro.experiments.tab01_pmc_selection import Tab01Config
+
+        return Tab01Config(seconds_per_point=8)
+    return None
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(e) for e in REGISTRY)
+    for experiment_id, entry in REGISTRY.items():
+        print(f"{experiment_id:<{width}s}  {entry.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_for(args.experiment, args.scale)
+    result = run_experiment(args.experiment, config)
+    print(result.format_table())
+    return 0
+
+
+def cmd_capacity(_args: argparse.Namespace) -> int:
+    from repro.server.spec import ServerSpec
+    from repro.services.profiles import TAILBENCH_SERVICES, get_profile
+
+    spec = ServerSpec()
+    print(
+        f"platform: {spec.sockets} x {spec.cores_per_socket} cores, "
+        f"DVFS {spec.dvfs.min_ghz}-{spec.dvfs.max_ghz} GHz, "
+        f"{spec.socket.llc_mb} MB LLC, {spec.socket.membw_gbps} GB/s per socket"
+    )
+    print(f"{'service':10s} {'max rps':>8s} {'QoS (ms)':>9s} {'paper rps':>10s} {'paper ms':>9s}")
+    for name in TAILBENCH_SERVICES:
+        profile = get_profile(name)
+        print(
+            f"{name:10s} {profile.max_load_rps:8.0f} {profile.qos_target_ms:9.2f} "
+            f"{profile.paper_max_load_rps:10.0f} {profile.paper_qos_target_ms:9.2f}"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.common import run_single_service_comparison
+
+    harness = _harness(args.scale)
+    summaries = run_single_service_comparison(args.service, args.load, harness)
+    print(f"{args.service} @ {args.load * 100:.0f}% load — normalised energy (static = 1.0):")
+    print(
+        bar_chart(
+            {name: s.normalized_energy for name, s in summaries.items()},
+            reference=1.0,
+            unit="x",
+        )
+    )
+    print()
+    for name, summary in summaries.items():
+        qos = sum(summary.qos_guarantee.values()) / len(summary.qos_guarantee)
+        print(f"{name:9s} qos {qos:5.1f}%  power {summary.mean_power_w:5.1f} W")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible paper artifacts").set_defaults(
+        func=cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(REGISTRY))
+    run_parser.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
+    run_parser.set_defaults(func=cmd_run)
+
+    sub.add_parser("capacity", help="show platform + Table-II view").set_defaults(
+        func=cmd_capacity
+    )
+
+    compare_parser = sub.add_parser("compare", help="Twig-S vs baselines on one cell")
+    compare_parser.add_argument("--service", default="masstree")
+    compare_parser.add_argument("--load", type=float, default=0.5)
+    compare_parser.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
+    compare_parser.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Action-space encoding between BDQ branches and resource allocations.
+
+Each learning agent (one per LC service) controls two action dimensions:
+the number of cores (1..cores_per_socket) and the DVFS index
+(0..len(ladder)-1). Branch 0 encodes ``num_cores - 1``; branch 1 encodes
+the DVFS index directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.server.spec import ServerSpec
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One service's requested resources.
+
+    ``llc_ways`` is the optional Intel-CAT cache partition request
+    (0 = unpartitioned); it is only meaningful when the action space is
+    built with ``manage_llc=True``.
+    """
+
+    num_cores: int
+    freq_index: int
+    llc_ways: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigurationError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.freq_index < 0:
+            raise ConfigurationError(f"freq_index must be >= 0, got {self.freq_index}")
+        if self.llc_ways < 0:
+            raise ConfigurationError(f"llc_ways must be >= 0, got {self.llc_ways}")
+
+
+class ActionSpace:
+    """Maps between per-branch action indices and :class:`Allocation`.
+
+    With ``manage_llc=True`` a third branch controls the Intel-CAT way
+    quota (0 = unpartitioned .. llc_ways = the whole cache); this is the
+    paper's hypothetical third action dimension from the memory-complexity
+    discussion, made concrete.
+    """
+
+    def __init__(self, spec: ServerSpec, max_cores: int = 0, manage_llc: bool = False):
+        self.spec = spec
+        self.max_cores = max_cores or spec.cores_per_socket
+        if not 1 <= self.max_cores <= spec.cores_per_socket:
+            raise ConfigurationError(
+                f"max_cores must be in [1, {spec.cores_per_socket}], got {self.max_cores}"
+            )
+        self.n_freqs = len(spec.dvfs)
+        self.manage_llc = manage_llc
+        self.n_way_choices = spec.socket.llc_ways + 1  # 0..ways
+
+    @property
+    def branch_sizes(self) -> List[int]:
+        """Discrete action counts per dimension."""
+        sizes = [self.max_cores, self.n_freqs]
+        if self.manage_llc:
+            sizes.append(self.n_way_choices)
+        return sizes
+
+    @property
+    def n_branches(self) -> int:
+        return 3 if self.manage_llc else 2
+
+    def decode(self, branch_actions: Sequence[int]) -> Allocation:
+        """BDQ branch outputs -> an allocation request."""
+        if len(branch_actions) != self.n_branches:
+            raise ConfigurationError(
+                f"expected {self.n_branches} branch actions, got {len(branch_actions)}"
+            )
+        cores_action, freq_action = int(branch_actions[0]), int(branch_actions[1])
+        if not 0 <= cores_action < self.max_cores:
+            raise ConfigurationError(f"cores action {cores_action} out of range")
+        if not 0 <= freq_action < self.n_freqs:
+            raise ConfigurationError(f"dvfs action {freq_action} out of range")
+        ways = 0
+        if self.manage_llc:
+            ways = int(branch_actions[2])
+            if not 0 <= ways < self.n_way_choices:
+                raise ConfigurationError(f"llc ways action {ways} out of range")
+        return Allocation(num_cores=cores_action + 1, freq_index=freq_action, llc_ways=ways)
+
+    def encode(self, allocation: Allocation) -> List[int]:
+        """An allocation request -> BDQ branch outputs."""
+        if not 1 <= allocation.num_cores <= self.max_cores:
+            raise ConfigurationError(f"num_cores {allocation.num_cores} out of range")
+        if not 0 <= allocation.freq_index < self.n_freqs:
+            raise ConfigurationError(f"freq_index {allocation.freq_index} out of range")
+        actions = [allocation.num_cores - 1, allocation.freq_index]
+        if self.manage_llc:
+            if allocation.llc_ways >= self.n_way_choices:
+                raise ConfigurationError(f"llc_ways {allocation.llc_ways} out of range")
+            actions.append(allocation.llc_ways)
+        return actions
+
+    def frequency_ghz(self, allocation: Allocation) -> float:
+        return self.spec.dvfs[allocation.freq_index]

@@ -1,0 +1,58 @@
+"""Twig's reward function (Equation 1).
+
+Per service k:
+
+    r_k = QoS_rew + theta * Power_rew        if QoS <= QoS_target
+    r_k = max(-QoS_rew^phi, cap)             if QoS >  QoS_target
+
+where ``QoS_rew`` is the ratio of measured tail latency to the target
+(<= 1 means the target was met and quantifies how quick the response was),
+``Power_rew`` is the ratio of the maximum measured system power to the
+service's estimated power (larger = cheaper), ``theta`` balances QoS
+against power (paper: 0.5), ``phi`` shapes the violation penalty
+(paper: 3) and ``cap`` bounds it (paper: -100).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RewardParams:
+    """Equation 1 constants; defaults are the paper's empirical choices."""
+
+    theta: float = 0.5
+    phi: float = 3.0
+    cap: float = -100.0
+
+    def __post_init__(self) -> None:
+        if self.theta < 0:
+            raise ConfigurationError(f"theta must be >= 0, got {self.theta}")
+        if self.phi <= 0:
+            raise ConfigurationError(f"phi must be positive, got {self.phi}")
+        if self.cap >= 0:
+            raise ConfigurationError(f"cap must be negative, got {self.cap}")
+
+
+def compute_reward(
+    measured_qos_ms: float,
+    qos_target_ms: float,
+    max_power_w: float,
+    estimated_power_w: float,
+    params: RewardParams = RewardParams(),
+) -> float:
+    """Equation 1 for one service over one interval."""
+    if qos_target_ms <= 0:
+        raise ConfigurationError(f"qos_target_ms must be positive, got {qos_target_ms}")
+    if measured_qos_ms < 0:
+        raise ConfigurationError(f"measured_qos_ms must be >= 0, got {measured_qos_ms}")
+    if max_power_w <= 0 or estimated_power_w <= 0:
+        raise ConfigurationError("powers must be positive")
+    qos_rew = measured_qos_ms / qos_target_ms
+    if qos_rew <= 1.0:
+        power_rew = max_power_w / estimated_power_w
+        return qos_rew + params.theta * power_rew
+    return max(-(qos_rew ** params.phi), params.cap)

@@ -1,0 +1,234 @@
+"""The Twig runtime (Figure 3): system monitor + learning agent + mapper.
+
+One ``Twig`` instance manages K colocated LC services with a single
+multi-agent BDQ (Twig-S is the K = 1 special case, Twig-C the K >= 2
+case). Each control interval it:
+
+1. gathers per-service PMCs through the :class:`SystemMonitor`
+   (eta-smoothed, max-normalised),
+2. computes the Equation-1 reward per service from measured tail latency
+   and the Equation-2 per-service power estimate,
+3. feeds the (state, action, reward, next-state) transition to the deep
+   Q-learning agent,
+4. selects the next per-service (core count, DVFS) actions, and
+5. resolves them to concrete core pins through the mapper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import ActionSpace, Allocation
+from repro.core.config import TwigConfig
+from repro.core.manager import TaskManager
+from repro.core.mapper import Mapper
+from repro.core.power_model import ServicePowerModel
+from repro.core.reward import compute_reward
+from repro.errors import ConfigurationError
+from repro.pmc.counters import CounterCatalogue
+from repro.pmc.monitor import SystemMonitor
+from repro.rl.agent import BDQAgent, BDQAgentConfig, Transition
+from repro.server.machine import CoreAssignment
+from repro.server.power import PowerModel
+from repro.server.spec import ServerSpec
+from repro.services.profiles import ServiceProfile
+from repro.sim.environment import StepResult
+
+
+class Twig(TaskManager):
+    """QoS-aware, energy-minimising task manager for K LC services."""
+
+    def __init__(
+        self,
+        profiles: Sequence[ServiceProfile],
+        config: TwigConfig,
+        rng: np.random.Generator,
+        spec: Optional[ServerSpec] = None,
+        power_models: Optional[Mapping[str, ServicePowerModel]] = None,
+        qos_targets: Optional[Mapping[str, float]] = None,
+    ):
+        if not profiles:
+            raise ConfigurationError("Twig needs at least one service profile")
+        self.spec = spec or ServerSpec()
+        self.config = config
+        self._rng = rng
+        self.profiles: Dict[str, ServiceProfile] = {p.name: p for p in profiles}
+        self.service_order: List[str] = [p.name for p in profiles]
+        self.name = "twig-s" if len(profiles) == 1 else "twig-c"
+
+        self.qos_targets = {
+            name: (qos_targets or {}).get(name, self.profiles[name].qos_target_ms)
+            for name in self.service_order
+        }
+        self.power_models = dict(power_models or {})
+        self.max_power_w = PowerModel(self.spec).max_power_w()
+
+        max_cores = config.max_cores or self.spec.cores_per_socket
+        self.action_space = ActionSpace(
+            self.spec, max_cores=max_cores, manage_llc=config.manage_llc
+        )
+        self.mapper = Mapper(self.spec, socket_index=config.socket_index)
+
+        catalogue = CounterCatalogue(self.spec)
+        self.monitor = SystemMonitor(catalogue.max_values(), eta=config.eta)
+
+        k = len(self.service_order)
+        agent_config = BDQAgentConfig(
+            state_dim=self.monitor.state_dim * k,
+            branch_sizes=[self.action_space.branch_sizes for _ in range(k)],
+            learning_rate=config.learning_rate,
+            batch_size=config.batch_size,
+            discount=config.discount,
+            target_update_every=config.target_update_every,
+            epsilon_mid_steps=config.epsilon_mid_steps,
+            epsilon_final_steps=config.epsilon_final_steps,
+            buffer_capacity=config.buffer_capacity,
+            use_prioritized_replay=config.use_prioritized_replay,
+            per_alpha=config.per_alpha,
+            per_beta_start=config.per_beta_start,
+            per_beta_steps=config.epsilon_final_steps,
+            min_buffer_size=config.min_buffer_size,
+            shared_hidden=config.shared_hidden,
+            branch_hidden=config.branch_hidden,
+            dropout=config.dropout,
+            train_every=config.train_every,
+            gradient_steps=config.gradient_steps,
+        )
+        self.agent = BDQAgent(agent_config, rng)
+
+        self._prev_state: Optional[np.ndarray] = None
+        self._prev_actions: Optional[List[List[int]]] = None
+        self._last_allocations: Dict[str, Allocation] = {}
+        self.last_rewards: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # TaskManager interface
+    # ------------------------------------------------------------------ #
+    def initial_assignments(self) -> Dict[str, CoreAssignment]:
+        """Start like the paper's experiments: all cores at max DVFS."""
+        top = len(self.spec.dvfs) - 1
+        allocations = {
+            name: Allocation(num_cores=self.action_space.max_cores, freq_index=top)
+            for name in self.service_order
+        }
+        self._last_allocations = allocations
+        return self.mapper.map(allocations)
+
+    def update(self, result: StepResult) -> Dict[str, CoreAssignment]:
+        state = self._build_state(result)
+        rewards = self._compute_rewards(result)
+        if self._prev_state is not None and self._prev_actions is not None:
+            self.agent.observe(
+                Transition(
+                    state=self._prev_state,
+                    actions=self._prev_actions,
+                    rewards=np.array([rewards[n] for n in self.service_order]),
+                    next_state=state,
+                )
+            )
+        actions = self.agent.act(state)
+        allocations = {
+            name: self.action_space.decode(actions[k])
+            for k, name in enumerate(self.service_order)
+        }
+        self._prev_state = state
+        self._prev_actions = actions
+        self._last_allocations = allocations
+        self.last_rewards = rewards
+        return self.mapper.map(allocations)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _build_state(self, result: StepResult) -> np.ndarray:
+        parts = []
+        for name in self.service_order:
+            observation = result.observations[name]
+            parts.append(self.monitor.observe(name, observation.pmcs))
+        return np.concatenate(parts)
+
+    def _compute_rewards(self, result: StepResult) -> Dict[str, float]:
+        rewards: Dict[str, float] = {}
+        for name in self.service_order:
+            observation = result.observations[name]
+            estimated = self._estimate_power(name, observation.interval.arrival_rate)
+            rewards[name] = compute_reward(
+                measured_qos_ms=observation.p99_ms,
+                qos_target_ms=self.qos_targets[name],
+                max_power_w=self.max_power_w,
+                estimated_power_w=estimated,
+                params=self.config.reward,
+            )
+        return rewards
+
+    def _estimate_power(self, name: str, arrival_rate: float) -> float:
+        """Equation-2 estimate of the service's power for its allocation.
+
+        Falls back to the physical CV^2 f model when no fitted Equation-2
+        model was supplied (equivalent information, used mainly in tests).
+        """
+        allocation = self._last_allocations.get(
+            name,
+            Allocation(self.action_space.max_cores, len(self.spec.dvfs) - 1),
+        )
+        freq = self.spec.dvfs[allocation.freq_index]
+        model = self.power_models.get(name)
+        if model is not None and model.fitted:
+            load_pct = 100.0 * arrival_rate / self.profiles[name].max_load_rps
+            return model.predict(load_pct, allocation.num_cores, freq)
+        physical = PowerModel(self.spec)
+        profile = self.profiles[name]
+        capacity = profile.capacity_rps(allocation.num_cores, freq, self.spec.dvfs.max_ghz)
+        utilization = float(np.clip(arrival_rate / max(capacity, 1e-9), 0.0, 1.0))
+        effective = utilization + profile.active_idle_util * (1.0 - utilization)
+        per_core = physical.core_dynamic_w(freq, effective)
+        return max(per_core * allocation.num_cores, 0.5)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle operations
+    # ------------------------------------------------------------------ #
+    def exploit(self) -> None:
+        """Switch to pure exploitation (recommended once trained)."""
+        self.agent.exploring_frozen = True
+
+    def save(self, path) -> None:
+        """Checkpoint the learned network weights to an ``.npz`` file."""
+        self.agent.save(path)
+
+    def load(self, path) -> None:
+        """Restore network weights saved with :meth:`save`. The
+        architecture (services, branch sizes, hidden widths) must match."""
+        self.agent.load(path)
+
+    def transfer_to(
+        self,
+        old_name: str,
+        new_profile: ServiceProfile,
+        qos_target_ms: Optional[float] = None,
+        power_model: Optional[ServicePowerModel] = None,
+    ) -> None:
+        """Swap a managed service and transfer-learn (Figures 8/9).
+
+        The shared representation is kept; every head's output layer is
+        re-randomised and the monitor history for the slot is cleared.
+        """
+        if old_name not in self.profiles:
+            raise ConfigurationError(f"unknown service {old_name!r}")
+        index = self.service_order.index(old_name)
+        del self.profiles[old_name]
+        del self.qos_targets[old_name]
+        self.power_models.pop(old_name, None)
+        self.service_order[index] = new_profile.name
+        self.profiles[new_profile.name] = new_profile
+        self.qos_targets[new_profile.name] = (
+            qos_target_ms if qos_target_ms is not None else new_profile.qos_target_ms
+        )
+        if power_model is not None:
+            self.power_models[new_profile.name] = power_model
+        self.monitor.reset(old_name)
+        self.agent.transfer(self._rng)
+        self._prev_state = None
+        self._prev_actions = None
+        self._last_allocations.pop(old_name, None)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class AllocationError(ReproError):
+    """A resource allocation request could not be satisfied or is malformed."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before being fitted/trained."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent internal state."""

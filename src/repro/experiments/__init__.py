@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table/figure plus shared glue.
+
+- :mod:`repro.experiments.runner` — drives a task manager against a
+  :class:`repro.sim.environment.ColocationEnvironment` and records traces.
+- :mod:`repro.experiments.profiling` — offline power profiling and
+  Equation-2 model fitting shared by Twig setup and Figure 4.
+- ``fig01`` ... ``fig13``, ``tab01`` ... ``tab03``, ``mem_complexity`` —
+  the per-artifact reproduction modules (see DESIGN.md Section 4 for the
+  index).
+"""
+
+from repro.experiments.registry import REGISTRY, get_entry, run_experiment
+from repro.experiments.runner import RunTrace, run_manager
+
+__all__ = ["REGISTRY", "RunTrace", "get_entry", "run_experiment", "run_manager"]

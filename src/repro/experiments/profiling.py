@@ -1,0 +1,111 @@
+"""Offline power profiling and Equation-2 model fitting (Section IV).
+
+The paper profiles each service at three load levels (20/50/80 % of max),
+alternate core counts and alternate DVFS states, with unused cores disabled
+via CPU hot-plugging, measuring the *dynamic* power (current minus idle)
+every second. The resulting samples fit Equation 2 by random grid search
+with 5-fold cross-validation. This module reproduces that pipeline on the
+simulated server and is shared by Twig's setup and the Figure 4
+(power-model PAAE) experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.power_model import PowerSample, ServicePowerModel
+from repro.server.machine import CoreAssignment
+from repro.server.spec import ServerSpec
+from repro.services.loadgen import ConstantLoad
+from repro.services.profiles import ServiceProfile
+from repro.sim.environment import ColocationEnvironment, EnvironmentConfig
+
+#: The paper's profiling grid.
+DEFAULT_LOADS = (0.2, 0.5, 0.8)
+
+
+def collect_power_samples(
+    profile: ServiceProfile,
+    spec: ServerSpec,
+    rng: np.random.Generator,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    core_counts: Optional[Sequence[int]] = None,
+    dvfs_indices: Optional[Sequence[int]] = None,
+    seconds_per_point: int = 5,
+) -> List[PowerSample]:
+    """Measure per-service dynamic power across the profiling grid.
+
+    Unused cores are hot-plugged off, matching the paper's methodology, so
+    the socket reading minus the idle floor attributes cleanly to the
+    service. Grid points where the service would be hopelessly overloaded
+    (capacity below 70 % of the offered load) are skipped — the paper's
+    profiling equally never holds an overloaded operating point for long.
+    """
+    core_counts = list(core_counts or range(2, spec.cores_per_socket + 1, 2))
+    dvfs_indices = list(dvfs_indices or range(0, len(spec.dvfs), 2))
+    samples: List[PowerSample] = []
+    config = EnvironmentConfig(spec=spec, hotplug_unused=True)
+    idle_w = spec.idle_power_w
+    for load in loads:
+        for cores in core_counts:
+            for freq_index in dvfs_indices:
+                freq = spec.dvfs[freq_index]
+                capacity = profile.capacity_rps(cores, freq, spec.dvfs.max_ghz)
+                arrival = load * profile.max_load_rps
+                if capacity < 0.7 * arrival:
+                    continue
+                env = ColocationEnvironment(
+                    config,
+                    [profile],
+                    {
+                        profile.name: ConstantLoad(
+                            profile.max_load_rps, load, rng=rng, jitter_std=0.0
+                        )
+                    },
+                    rng,
+                )
+                assignment = {
+                    profile.name: CoreAssignment(
+                        cores=tuple(env.socket_core_ids[:cores]), freq_index=freq_index
+                    )
+                }
+                powers = [
+                    env.step(assignment).true_power_w for _ in range(seconds_per_point)
+                ]
+                dynamic = max(float(np.mean(powers)) - idle_w, 0.1)
+                samples.append(
+                    PowerSample(
+                        load_pct=load * 100.0,
+                        num_cores=cores,
+                        dvfs_ghz=freq,
+                        dynamic_power_w=dynamic,
+                    )
+                )
+    return samples
+
+
+def fit_service_power_model(
+    profile: ServiceProfile,
+    spec: ServerSpec,
+    rng: np.random.Generator,
+    n_candidates: int = 3000,
+    **collect_kwargs,
+) -> ServicePowerModel:
+    """Profile one service and fit Equation 2 (random search + 5-fold CV)."""
+    samples = collect_power_samples(profile, spec, rng, **collect_kwargs)
+    return ServicePowerModel().fit_random_search(samples, rng, n_candidates=n_candidates)
+
+
+def default_power_models(
+    profiles: Sequence[ServiceProfile],
+    spec: ServerSpec,
+    rng: np.random.Generator,
+    **kwargs,
+) -> Dict[str, ServicePowerModel]:
+    """Fitted Equation-2 models for a set of services (used by Twig)."""
+    return {
+        profile.name: fit_service_power_model(profile, spec, rng, **kwargs)
+        for profile in profiles
+    }

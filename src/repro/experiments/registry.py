@@ -1,0 +1,77 @@
+"""Registry mapping paper artifacts to experiment modules.
+
+Keeps the per-experiment index of DESIGN.md executable: each entry names
+the paper table/figure, the module that reproduces it, and a one-line
+description. ``run_experiment`` dispatches by id with optional config
+overrides; the benchmarks call through this registry so every artifact has
+exactly one entry point.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    experiment_id: str
+    module: str
+    description: str
+
+
+_ENTRIES = [
+    ExperimentEntry("fig01", "repro.experiments.fig01_pmc_prediction",
+                    "Tail-latency prediction error: multiple PMCs vs IPC"),
+    ExperimentEntry("tab01", "repro.experiments.tab01_pmc_selection",
+                    "PMC selection and importance ranking (Table I)"),
+    ExperimentEntry("tab02", "repro.experiments.tab02_capacity",
+                    "Per-service maximum load and QoS targets (Table II)"),
+    ExperimentEntry("tab03", "repro.experiments.tab03_overhead",
+                    "Twig runtime overhead (Table III)"),
+    ExperimentEntry("fig04", "repro.experiments.fig04_power_paae",
+                    "Equation-2 power model PAAE (Figure 4)"),
+    ExperimentEntry("fig05", "repro.experiments.fig05_twig_s_fixed",
+                    "Twig-S vs Hipster/Heracles/Static, fixed loads (Figure 5)"),
+    ExperimentEntry("fig06", "repro.experiments.fig06_mapping_single",
+                    "Core mapping + tardiness histograms, masstree@50% (Figure 6)"),
+    ExperimentEntry("fig07", "repro.experiments.fig07_learning_curve",
+                    "QoS guarantee over learning time (Figure 7)"),
+    ExperimentEntry("mem", "repro.experiments.mem_complexity",
+                    "Memory complexity, Hipster table vs Twig BDQ (Section V-B1)"),
+    ExperimentEntry("fig08", "repro.experiments.fig08_transfer_s",
+                    "Twig-S transfer learning (Figure 8)"),
+    ExperimentEntry("fig09", "repro.experiments.fig09_transfer_c",
+                    "Twig-C transfer learning (Figure 9)"),
+    ExperimentEntry("fig10", "repro.experiments.fig10_varying_s",
+                    "Varying load, single service img-dnn (Figure 10)"),
+    ExperimentEntry("fig11", "repro.experiments.fig11_varying_c",
+                    "Varying load, colocated moses+masstree (Figure 11)"),
+    ExperimentEntry("fig12", "repro.experiments.fig12_mapping_coloc",
+                    "Core mapping distributions, PARTIES vs Twig-C (Figure 12)"),
+    ExperimentEntry("fig13", "repro.experiments.fig13_twig_c_fixed",
+                    "Twig-C vs PARTIES vs Static, all pairs (Figure 13)"),
+]
+
+REGISTRY: Dict[str, ExperimentEntry] = {e.experiment_id: e for e in _ENTRIES}
+
+
+def get_entry(experiment_id: str) -> ExperimentEntry:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, config: Optional[Any] = None) -> Any:
+    """Run one registered experiment; returns its Result object."""
+    entry = get_entry(experiment_id)
+    module = importlib.import_module(entry.module)
+    if config is None:
+        return module.run()
+    return module.run(config)

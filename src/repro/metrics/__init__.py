@@ -1,0 +1,18 @@
+"""Evaluation metrics (Section V, Evaluation Metrics).
+
+- *QoS guarantee*: percentage of measured QoS samples that met the target.
+- *QoS tardiness*: ratio of measured QoS to the target (>1 = violation).
+- *Energy usage*: integrated server-socket power, usually normalised to
+  the static baseline.
+"""
+
+from repro.metrics.energy import energy_summary, normalized_energy
+from repro.metrics.qos import qos_guarantee_pct, tardiness, violation_intensity
+
+__all__ = [
+    "energy_summary",
+    "normalized_energy",
+    "qos_guarantee_pct",
+    "tardiness",
+    "violation_intensity",
+]

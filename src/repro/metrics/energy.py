@@ -1,0 +1,34 @@
+"""Energy accounting helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def energy_summary(power_w: Sequence[float], interval_s: float = 1.0) -> Dict[str, float]:
+    """Total energy and mean power over a power trace."""
+    if interval_s <= 0:
+        raise ConfigurationError(f"interval_s must be positive, got {interval_s}")
+    powers = np.asarray(power_w, dtype=np.float64)
+    if powers.size == 0:
+        raise ConfigurationError("energy_summary needs at least one sample")
+    return {
+        "energy_j": float(powers.sum() * interval_s),
+        "mean_power_w": float(powers.mean()),
+        "peak_power_w": float(powers.max()),
+    }
+
+
+def normalized_energy(energy_j: float, baseline_energy_j: float) -> float:
+    """Energy relative to a baseline (the paper normalises to static)."""
+    if baseline_energy_j <= 0:
+        raise ConfigurationError(
+            f"baseline energy must be positive, got {baseline_energy_j}"
+        )
+    if energy_j < 0:
+        raise ConfigurationError(f"energy must be >= 0, got {energy_j}")
+    return energy_j / baseline_energy_j

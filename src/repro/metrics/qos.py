@@ -1,0 +1,35 @@
+"""QoS guarantee and tardiness metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def qos_guarantee_pct(p99_ms: Sequence[float], target_ms: float) -> float:
+    """Percentage of samples meeting the target (paper's QoS guarantee)."""
+    if target_ms <= 0:
+        raise ConfigurationError(f"target_ms must be positive, got {target_ms}")
+    samples = np.asarray(p99_ms, dtype=np.float64)
+    if samples.size == 0:
+        raise ConfigurationError("qos_guarantee_pct needs at least one sample")
+    return float(np.mean(samples <= target_ms) * 100.0)
+
+
+def tardiness(p99_ms: Sequence[float], target_ms: float) -> np.ndarray:
+    """Per-sample measured-QoS / target ratios (paper's QoS tardiness)."""
+    if target_ms <= 0:
+        raise ConfigurationError(f"target_ms must be positive, got {target_ms}")
+    return np.asarray(p99_ms, dtype=np.float64) / target_ms
+
+
+def violation_intensity(p99_ms: Sequence[float], target_ms: float) -> float:
+    """Mean tardiness over violating samples only (0 if none violate)."""
+    ratios = tardiness(p99_ms, target_ms)
+    violations = ratios[ratios > 1.0]
+    if violations.size == 0:
+        return 0.0
+    return float(violations.mean())

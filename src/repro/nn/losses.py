@@ -1,0 +1,69 @@
+"""Loss functions returning ``(scalar_loss, gradient)`` pairs.
+
+Gradients are with respect to the prediction and already divided by the
+batch size, so they can be fed straight into ``Layer.backward``. Both losses
+accept an optional per-element ``weight`` array (used for prioritised
+experience replay importance-sampling weights) and an optional ``mask``
+selecting which elements contribute (used to train only the chosen action's
+Q-value per branch).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _prepare(
+    pred: np.ndarray,
+    target: np.ndarray,
+    weight: Optional[np.ndarray],
+    mask: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ShapeError(f"pred shape {pred.shape} != target shape {target.shape}")
+    scale = np.ones_like(pred)
+    if weight is not None:
+        weight = np.asarray(weight, dtype=np.float64)
+        scale = scale * weight.reshape(scale.shape[:weight.ndim] + (1,) * (scale.ndim - weight.ndim))
+    if mask is not None:
+        scale = scale * np.asarray(mask, dtype=np.float64)
+    denom = float(max(scale.sum(), 1.0)) if mask is not None else float(pred.size)
+    return scale, target, denom
+
+
+def mse_loss(
+    pred: np.ndarray,
+    target: np.ndarray,
+    weight: Optional[np.ndarray] = None,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Mean squared error. Returns ``(loss, dloss/dpred)``."""
+    scale, target, denom = _prepare(pred, target, weight, mask)
+    diff = pred - target
+    loss = float(np.sum(scale * diff * diff) / denom)
+    grad = 2.0 * scale * diff / denom
+    return loss, grad
+
+
+def huber_loss(
+    pred: np.ndarray,
+    target: np.ndarray,
+    delta: float = 1.0,
+    weight: Optional[np.ndarray] = None,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Huber loss — quadratic near zero, linear beyond ``delta``."""
+    scale, target, denom = _prepare(pred, target, weight, mask)
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff <= delta
+    elem = np.where(quadratic, 0.5 * diff * diff, delta * (abs_diff - 0.5 * delta))
+    loss = float(np.sum(scale * elem) / denom)
+    grad = np.where(quadratic, diff, delta * np.sign(diff)) * scale / denom
+    return loss, grad

@@ -1,0 +1,112 @@
+"""Optimisers operating on lists of :class:`repro.nn.layers.Parameter`.
+
+The paper uses Adam with a learning rate of 0.0025 (Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base optimiser: holds parameters and supports gradient clipping."""
+
+    def __init__(self, parameters: List[Parameter], max_grad_norm: Optional[float] = None):
+        if not parameters:
+            raise ConfigurationError("optimizer requires at least one parameter")
+        self.parameters = list(parameters)
+        self.max_grad_norm = max_grad_norm
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _clip_gradients(self) -> float:
+        """Clip the global gradient norm in place; returns the pre-clip norm."""
+        total = float(np.sqrt(sum(float(np.sum(p.grad * p.grad)) for p in self.parameters)))
+        if self.max_grad_norm is not None and total > self.max_grad_norm > 0:
+            factor = self.max_grad_norm / (total + 1e-12)
+            for param in self.parameters:
+                param.grad *= factor
+        return total
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        max_grad_norm: Optional[float] = None,
+    ):
+        super().__init__(parameters, max_grad_norm)
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._clip_gradients()
+        for index, param in enumerate(self.parameters):
+            if self.momentum > 0:
+                vel = self._velocity.setdefault(index, np.zeros_like(param.value))
+                vel *= self.momentum
+                vel -= self.learning_rate * param.grad
+                param.value += vel
+            else:
+                param.value -= self.learning_rate * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        learning_rate: float = 0.0025,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        max_grad_norm: Optional[float] = None,
+    ):
+        super().__init__(parameters, max_grad_norm)
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError(f"betas must be in [0, 1), got ({beta1}, {beta2})")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step_count = 0
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._clip_gradients()
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for index, param in enumerate(self.parameters):
+            m = self._first_moment.setdefault(index, np.zeros_like(param.value))
+            v = self._second_moment.setdefault(index, np.zeros_like(param.value))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad * param.grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,23 @@
+"""Twig's system-monitor side: PMC catalogue, aggregation, and selection.
+
+- :mod:`repro.pmc.counters` — the 11 hardware counters of Table I with
+  their microbenchmark-calibrated maximum values (used for max-value
+  normalisation).
+- :mod:`repro.pmc.monitor` — the paper's system monitor: per-service
+  aggregation, eta-step weighted smoothing, and feature scaling to [0, 1].
+- :mod:`repro.pmc.selection` — the offline counter-selection pipeline:
+  Pearson correlation matrix against tail latency, PCA for redundancy
+  elimination, and the importance ranking reported in Table I.
+"""
+
+from repro.pmc.counters import COUNTER_NAMES, CounterCatalogue
+from repro.pmc.monitor import SystemMonitor
+from repro.pmc.selection import CounterSelection, select_counters
+
+__all__ = [
+    "COUNTER_NAMES",
+    "CounterCatalogue",
+    "CounterSelection",
+    "SystemMonitor",
+    "select_counters",
+]

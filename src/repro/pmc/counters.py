@@ -1,0 +1,95 @@
+"""The hardware performance counters of Table I.
+
+Names follow the paper/libpfm conventions. Each counter's maximum value —
+the denominator of the max-value normalisation in Section III-B1 — is
+calibrated the way the paper does it: counters 1-5 against a CPU-intensive
+microbenchmark with no memory accesses, 6-8 against a branch-miss
+microbenchmark, and 9-11 against STREAM. In simulation those calibrations
+reduce to closed forms over the server spec (peak retirement width, branch
+density of the calibration kernel, and achievable memory bandwidth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.server.spec import ServerSpec
+
+#: Table I counter names, in the paper's order.
+COUNTER_NAMES: Tuple[str, ...] = (
+    "UNHALTED_CORE_CYCLES",
+    "INSTRUCTION_RETIRED",
+    "PERF_COUNT_HW_CPU_CYCLES",
+    "UNHALTED_REFERENCE_CYCLES",
+    "UOPS_RETIRED",
+    "BRANCH_INSTRUCTIONS_RETIRED",
+    "MISPREDICTED_BRANCH_RETIRED",
+    "PERF_COUNT_HW_BRANCH_MISSES",
+    "LLC_MISSES",
+    "PERF_COUNT_HW_CACHE_L1D",
+    "PERF_COUNT_HW_CACHE_L1I",
+)
+
+#: Table I importance ranking (1 = most important).
+PAPER_IMPORTANCE: Dict[str, int] = {
+    "UNHALTED_CORE_CYCLES": 10,
+    "INSTRUCTION_RETIRED": 6,
+    "PERF_COUNT_HW_CPU_CYCLES": 9,
+    "UNHALTED_REFERENCE_CYCLES": 11,
+    "UOPS_RETIRED": 7,
+    "BRANCH_INSTRUCTIONS_RETIRED": 3,
+    "MISPREDICTED_BRANCH_RETIRED": 8,
+    "PERF_COUNT_HW_BRANCH_MISSES": 1,
+    "LLC_MISSES": 2,
+    "PERF_COUNT_HW_CACHE_L1D": 4,
+    "PERF_COUNT_HW_CACHE_L1I": 5,
+}
+
+# Calibration-kernel constants (per retired instruction of the kernel).
+_PEAK_IPC = 2.5
+_UOPS_PER_INSTR = 1.3
+_BRANCH_KERNEL_BRANCH_FRACTION = 0.35
+_BRANCH_KERNEL_MISS_RATE = 0.45
+_CACHE_LINE_BYTES = 64
+_L1_ACCESS_FRACTION = 0.5  # loads+stores per instruction in STREAM
+
+
+class CounterCatalogue:
+    """Maximum counter values for a server, per second of measurement."""
+
+    def __init__(self, spec: ServerSpec, cores: int = 0):
+        """``cores`` bounds the measurement scope (0 = one full socket)."""
+        if cores < 0 or cores > spec.total_cores:
+            raise ConfigurationError(f"cores out of range: {cores}")
+        self.spec = spec
+        self.cores = cores or spec.cores_per_socket
+
+    def max_values(self, interval_s: float = 1.0) -> Dict[str, float]:
+        """Per-counter maxima over ``interval_s`` seconds, all cores busy."""
+        if interval_s <= 0:
+            raise ConfigurationError(f"interval_s must be positive, got {interval_s}")
+        fmax_hz = self.spec.dvfs.max_ghz * 1e9
+        cycles = self.cores * fmax_hz * interval_s
+        instructions = cycles * _PEAK_IPC
+        branch_instr = instructions * _BRANCH_KERNEL_BRANCH_FRACTION
+        # STREAM-derived maxima: achievable bandwidth in cache lines.
+        lines_per_s = self.spec.socket.membw_gbps * 1e9 / _CACHE_LINE_BYTES
+        llc_misses = lines_per_s * interval_s
+        # The STREAM kernel's instruction stream bounds L1 access counts.
+        stream_instr = cycles * 1.0  # bandwidth-bound: ~1 IPC
+        l1d = stream_instr * _L1_ACCESS_FRACTION
+        l1i = stream_instr * 0.05
+        return {
+            "UNHALTED_CORE_CYCLES": cycles,
+            "INSTRUCTION_RETIRED": instructions,
+            "PERF_COUNT_HW_CPU_CYCLES": cycles,
+            "UNHALTED_REFERENCE_CYCLES": cycles,
+            "UOPS_RETIRED": instructions * _UOPS_PER_INSTR,
+            "BRANCH_INSTRUCTIONS_RETIRED": branch_instr,
+            "MISPREDICTED_BRANCH_RETIRED": branch_instr * _BRANCH_KERNEL_MISS_RATE,
+            "PERF_COUNT_HW_BRANCH_MISSES": branch_instr * _BRANCH_KERNEL_MISS_RATE,
+            "LLC_MISSES": llc_misses,
+            "PERF_COUNT_HW_CACHE_L1D": l1d,
+            "PERF_COUNT_HW_CACHE_L1I": l1i,
+        }

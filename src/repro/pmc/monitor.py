@@ -1,0 +1,87 @@
+"""Twig's system monitor (Section III-B1).
+
+Gathers raw per-service counter readings each interval, smooths them with a
+weighted sum over the last ``eta`` time steps (the paper found eta = 5 best),
+and feature-scales them into [0, 1] by max-value normalisation against the
+microbenchmark-calibrated maxima, so "the neural network can capture the
+importance of each state variable equally".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.pmc.counters import COUNTER_NAMES
+
+
+class SystemMonitor:
+    """Per-service PMC aggregation, smoothing, and normalisation."""
+
+    def __init__(
+        self,
+        max_values: Mapping[str, float],
+        counters: Sequence[str] = COUNTER_NAMES,
+        eta: int = 5,
+    ):
+        if eta <= 0:
+            raise ConfigurationError(f"eta must be positive, got {eta}")
+        missing = [c for c in counters if c not in max_values]
+        if missing:
+            raise ConfigurationError(f"max values missing for counters: {missing}")
+        bad = [c for c in counters if max_values[c] <= 0]
+        if bad:
+            raise ConfigurationError(f"max values must be positive for: {bad}")
+        self.counters = tuple(counters)
+        self.max_values = {c: float(max_values[c]) for c in self.counters}
+        self.eta = eta
+        # Linear recency weights: the most recent sample counts eta times a
+        # sample eta-1 steps old.
+        weights = np.arange(1, eta + 1, dtype=np.float64)
+        self._weights = weights / weights.sum()
+        self._history: Dict[str, Deque[np.ndarray]] = {}
+
+    @property
+    def state_dim(self) -> int:
+        return len(self.counters)
+
+    def reset(self, service: Optional[str] = None) -> None:
+        """Drop smoothing history for one service (or all)."""
+        if service is None:
+            self._history.clear()
+        else:
+            self._history.pop(service, None)
+
+    def observe(self, service: str, readings: Mapping[str, float]) -> np.ndarray:
+        """Record one interval's raw readings; returns the smoothed state.
+
+        The returned vector is ordered like ``self.counters``, smoothed over
+        up to ``eta`` past intervals, and normalised to [0, 1].
+        """
+        missing = [c for c in self.counters if c not in readings]
+        if missing:
+            raise ShapeError(f"readings missing counters: {missing}")
+        raw = np.array([float(readings[c]) for c in self.counters])
+        history = self._history.setdefault(service, deque(maxlen=self.eta))
+        history.append(raw)
+        return self._normalise(self._smooth(history))
+
+    def state(self, service: str) -> np.ndarray:
+        """The current smoothed, normalised state without adding a sample."""
+        history = self._history.get(service)
+        if not history:
+            return np.zeros(self.state_dim)
+        return self._normalise(self._smooth(history))
+
+    def _smooth(self, history: Deque[np.ndarray]) -> np.ndarray:
+        stacked = np.stack(list(history))  # (n, counters), oldest first
+        weights = self._weights[-stacked.shape[0]:]
+        weights = weights / weights.sum()
+        return weights @ stacked
+
+    def _normalise(self, values: np.ndarray) -> np.ndarray:
+        maxima = np.array([self.max_values[c] for c in self.counters])
+        return np.clip(values / maxima, 0.0, 1.0)

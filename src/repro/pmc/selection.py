@@ -1,0 +1,156 @@
+"""Offline PMC selection (Section III-B1, reproducing Table I).
+
+The paper's pipeline: profile each service across DVFS/core combinations
+while logging all counters and tail latency; build a Pearson correlation
+matrix; pick the number of principal components explaining >= 95 % of the
+covariance; and use the PCA loadings to rank the most vital, distinct
+counters (the methodology of Malik et al.).
+
+Implemented here with plain numpy: counters are standardised, PCA is an
+SVD of the standardised sample matrix, and a counter's importance is the
+sum over retained components of |loading| weighted by the component's
+explained-variance ratio and by the component's correlation with tail
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+@dataclass(frozen=True)
+class CounterSelection:
+    """Result of the counter-selection pipeline."""
+
+    counters: Tuple[str, ...]               # all candidate counters
+    importance_rank: Dict[str, int]         # 1 = most important
+    importance_score: Dict[str, float]
+    selected: Tuple[str, ...]               # counters retained (distinct, vital)
+    n_components: int                       # components covering the threshold
+    explained_variance_ratio: Tuple[float, ...]
+    latency_correlation: Dict[str, float]   # Pearson r of each counter vs latency
+
+
+def pearson_matrix(samples: np.ndarray) -> np.ndarray:
+    """Pearson correlation matrix of the columns of ``samples``.
+
+    Constant columns produce zero correlation (rather than NaN).
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise ShapeError(f"samples must be 2-D, got shape {samples.shape}")
+    std = samples.std(axis=0)
+    safe = np.where(std > 0, std, 1.0)
+    centred = (samples - samples.mean(axis=0)) / safe
+    corr = centred.T @ centred / samples.shape[0]
+    corr[std == 0, :] = 0.0
+    corr[:, std == 0] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def select_counters(
+    samples: np.ndarray,
+    latency: np.ndarray,
+    counter_names: Sequence[str],
+    covariance_threshold: float = 0.95,
+    redundancy_threshold: float = 0.98,
+) -> CounterSelection:
+    """Run the full selection pipeline.
+
+    Parameters
+    ----------
+    samples:
+        ``(n_samples, n_counters)`` raw counter readings.
+    latency:
+        ``(n_samples,)`` measured tail latencies.
+    counter_names:
+        Column names of ``samples``.
+    covariance_threshold:
+        Keep the smallest number of principal components whose cumulative
+        explained variance reaches this fraction (paper: 95 %).
+    redundancy_threshold:
+        Counters correlated above this with an already-selected, more
+        important counter are dropped from ``selected`` (they remain in the
+        ranking).
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    latency = np.asarray(latency, dtype=np.float64).reshape(-1)
+    if samples.ndim != 2 or samples.shape[0] != latency.shape[0]:
+        raise ShapeError(
+            f"samples {samples.shape} incompatible with latency {latency.shape}"
+        )
+    if samples.shape[1] != len(counter_names):
+        raise ShapeError(
+            f"{samples.shape[1]} columns but {len(counter_names)} counter names"
+        )
+    if not 0.0 < covariance_threshold <= 1.0:
+        raise ConfigurationError(f"covariance_threshold must be in (0, 1]")
+    if samples.shape[0] < 3:
+        raise ConfigurationError("need at least 3 samples for selection")
+
+    std = samples.std(axis=0)
+    safe = np.where(std > 0, std, 1.0)
+    standardised = (samples - samples.mean(axis=0)) / safe
+
+    # PCA via SVD of the standardised matrix.
+    _, singular, vt = np.linalg.svd(standardised, full_matrices=False)
+    variance = singular ** 2
+    ratio = variance / variance.sum() if variance.sum() > 0 else variance
+    cumulative = np.cumsum(ratio)
+    n_components = int(np.searchsorted(cumulative, covariance_threshold) + 1)
+    n_components = min(n_components, len(ratio))
+
+    # Correlation of each component's scores with tail latency.
+    scores = standardised @ vt.T  # (n, components)
+    lat_centred = latency - latency.mean()
+    lat_norm = np.linalg.norm(lat_centred)
+    comp_corr = np.zeros(len(ratio))
+    if lat_norm > 0:
+        for k in range(len(ratio)):
+            score_norm = np.linalg.norm(scores[:, k])
+            if score_norm > 0:
+                comp_corr[k] = abs(float(scores[:, k] @ lat_centred) / (score_norm * lat_norm))
+
+    # Importance: |loading| weighted by explained variance and latency
+    # relevance of each retained component.
+    weights = ratio[:n_components] * (comp_corr[:n_components] + 1e-6)
+    importance = np.abs(vt[:n_components].T) @ weights  # (counters,)
+
+    order = np.argsort(-importance)
+    rank = {counter_names[i]: int(pos + 1) for pos, i in enumerate(order)}
+    score = {counter_names[i]: float(importance[i]) for i in range(len(counter_names))}
+
+    # Per-counter correlation with latency (for reporting and redundancy).
+    counter_corr: Dict[str, float] = {}
+    for i, name in enumerate(counter_names):
+        col = standardised[:, i]
+        norm = np.linalg.norm(col)
+        if norm > 0 and lat_norm > 0:
+            counter_corr[name] = float(col @ lat_centred / (norm * lat_norm))
+        else:
+            counter_corr[name] = 0.0
+
+    corr_matrix = pearson_matrix(samples)
+    selected: List[str] = []
+    selected_idx: List[int] = []
+    for i in order:
+        if any(abs(corr_matrix[i, j]) > redundancy_threshold for j in selected_idx):
+            continue
+        selected.append(counter_names[i])
+        selected_idx.append(i)
+
+    return CounterSelection(
+        counters=tuple(counter_names),
+        importance_rank=rank,
+        importance_score=score,
+        selected=tuple(selected),
+        n_components=n_components,
+        explained_variance_ratio=tuple(float(r) for r in ratio),
+        latency_correlation=counter_corr,
+    )

@@ -1,0 +1,316 @@
+"""Deep Q-learning agent over the (multi-agent) BDQ network.
+
+Implements Algorithm 1 of the paper: ε-greedy action selection with epsilon
+annealing, prioritised experience replay, double-Q per-branch TD targets
+(averaged across branches, as in Tavakoli et al.), per-branch MSE loss, and
+periodic target-network synchronisation. The agent is variant-agnostic:
+Twig-S instantiates it with one learning agent, Twig-C with one per
+colocated service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.losses import mse_loss
+from repro.nn.network import load_weights, save_weights
+from repro.nn.optim import Adam
+from repro.rl.bdq import BDQNetwork
+from repro.rl.prioritized import PrioritizedReplayBuffer
+from repro.rl.replay import ReplayBuffer
+from repro.rl.schedules import LinearSchedule, PiecewiseSchedule
+
+
+@dataclass
+class Transition:
+    """One environment interaction for all agents jointly."""
+
+    state: np.ndarray
+    actions: List[List[int]]
+    rewards: np.ndarray
+    next_state: np.ndarray
+    done: bool = False
+
+
+@dataclass
+class BDQAgentConfig:
+    """Hyper-parameters; defaults are the paper's (Section IV).
+
+    The ε schedule anneals 1 → 0.1 over ``epsilon_mid_steps`` and on to
+    0.01 by ``epsilon_final_steps`` (the paper uses 10 000 s and 25 000 s
+    with one step per second).
+    """
+
+    state_dim: int = 11
+    branch_sizes: Sequence[Sequence[int]] = field(default_factory=lambda: [[18, 9]])
+    learning_rate: float = 0.0025
+    batch_size: int = 64
+    discount: float = 0.99
+    target_update_every: int = 150
+    epsilon_start: float = 1.0
+    epsilon_mid: float = 0.1
+    epsilon_final: float = 0.01
+    epsilon_mid_steps: int = 10_000
+    epsilon_final_steps: int = 25_000
+    buffer_capacity: int = 100_000
+    use_prioritized_replay: bool = True
+    per_alpha: float = 0.6
+    per_beta_start: float = 0.4
+    per_beta_steps: int = 25_000
+    min_buffer_size: int = 200
+    shared_hidden: Sequence[int] = (512, 256)
+    branch_hidden: int = 128
+    dropout: float = 0.5
+    max_grad_norm: Optional[float] = 10.0
+    train_every: int = 1
+    gradient_steps: int = 1  # minibatch updates per training round
+
+    def __post_init__(self) -> None:
+        if self.epsilon_mid_steps >= self.epsilon_final_steps:
+            raise ConfigurationError(
+                "epsilon_mid_steps must be < epsilon_final_steps "
+                f"({self.epsilon_mid_steps} >= {self.epsilon_final_steps})"
+            )
+        if not 0.0 < self.discount <= 1.0:
+            raise ConfigurationError(f"discount must be in (0, 1], got {self.discount}")
+        if self.batch_size <= 0 or self.buffer_capacity < self.batch_size:
+            raise ConfigurationError(
+                f"need buffer_capacity >= batch_size > 0, got "
+                f"({self.buffer_capacity}, {self.batch_size})"
+            )
+
+
+class BDQAgent:
+    """ε-greedy deep Q-learning over a :class:`BDQNetwork`."""
+
+    def __init__(self, config: BDQAgentConfig, rng: np.random.Generator):
+        self.config = config
+        self._rng = rng
+        self.online = BDQNetwork(
+            config.state_dim,
+            config.branch_sizes,
+            rng,
+            shared_hidden=config.shared_hidden,
+            branch_hidden=config.branch_hidden,
+            dropout=config.dropout,
+        )
+        self.target = self.online.clone(rng)
+        self.optimizer = Adam(
+            self.online.parameters(),
+            learning_rate=config.learning_rate,
+            max_grad_norm=config.max_grad_norm,
+        )
+        if config.use_prioritized_replay:
+            self.buffer: ReplayBuffer = PrioritizedReplayBuffer(
+                config.buffer_capacity, rng, alpha=config.per_alpha
+            )
+        else:
+            self.buffer = ReplayBuffer(config.buffer_capacity, rng)
+        self.epsilon_schedule = PiecewiseSchedule(
+            [
+                (0, config.epsilon_start),
+                (config.epsilon_mid_steps, config.epsilon_mid),
+                (config.epsilon_final_steps, config.epsilon_final),
+            ]
+        )
+        self.beta_schedule = LinearSchedule(config.per_beta_start, 1.0, config.per_beta_steps)
+        self.step_count = 0
+        self.train_count = 0
+        self.last_loss: Optional[float] = None
+        self.exploring_frozen = False
+
+    # ------------------------------------------------------------------ #
+    # acting
+    # ------------------------------------------------------------------ #
+    @property
+    def num_agents(self) -> int:
+        return self.online.num_agents
+
+    def epsilon(self) -> float:
+        if self.exploring_frozen:
+            return 0.0
+        return self.epsilon_schedule(self.step_count)
+
+    def act(self, state: np.ndarray, greedy: bool = False) -> List[List[int]]:
+        """Choose one action index per branch per agent (Algorithm 1, l.7-8).
+
+        Exploration is epsilon-greedy *per branch*: each action dimension
+        independently takes a uniform random action with probability
+        epsilon, the others stay greedy. Randomising every branch jointly
+        would mean a low-DVFS trial almost always co-occurs with a random
+        (frequently catastrophic) core count, so the DVFS branch would only
+        ever associate low frequencies with violations; per-branch noise
+        explores in the neighbourhood of the current policy instead, which
+        is what lets the branches coordinate.
+        """
+        state = np.asarray(state, dtype=np.float64).reshape(-1)
+        if state.shape[0] != self.config.state_dim:
+            raise ShapeError(
+                f"state has dim {state.shape[0]}, expected {self.config.state_dim}"
+            )
+        actions = self.online.greedy_actions(state)
+        if greedy:
+            return actions
+        epsilon = self.epsilon()
+        for k, agent in enumerate(self.online.branch_sizes):
+            for d, n in enumerate(agent):
+                if self._rng.random() >= epsilon:
+                    continue
+                if self._rng.random() < 0.5:
+                    # Global: uniform over the branch's actions.
+                    actions[k][d] = int(self._rng.integers(0, n))
+                else:
+                    # Local: a +-1..4 step from the greedy action, which lets
+                    # the policy walk across shallow reward valleys (e.g.
+                    # "add cores now, drop DVFS next") one branch at a time.
+                    step = int(self._rng.integers(1, 5)) * (1 if self._rng.random() < 0.5 else -1)
+                    actions[k][d] = int(np.clip(actions[k][d] + step, 0, n - 1))
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # learning
+    # ------------------------------------------------------------------ #
+    def observe(self, transition: Transition) -> Optional[float]:
+        """Store a transition and (maybe) run a training step.
+
+        Returns the training loss when a gradient step was taken.
+        """
+        if len(transition.rewards) != self.num_agents:
+            raise ShapeError(
+                f"expected {self.num_agents} rewards, got {len(transition.rewards)}"
+            )
+        self.buffer.add(
+            {
+                "state": np.asarray(transition.state, dtype=np.float64),
+                "actions": np.asarray(self._flatten_actions(transition.actions), dtype=np.float64),
+                "rewards": np.asarray(transition.rewards, dtype=np.float64),
+                "next_state": np.asarray(transition.next_state, dtype=np.float64),
+                "done": np.asarray(float(transition.done)),
+            }
+        )
+        self.step_count += 1
+        loss = None
+        if (
+            len(self.buffer) >= self.config.min_buffer_size
+            and self.step_count % self.config.train_every == 0
+        ):
+            for _ in range(self.config.gradient_steps):
+                loss = self.train_step()
+        if self.step_count % self.config.target_update_every == 0:
+            self.target.copy_from(self.online)
+        return loss
+
+    def _flatten_actions(self, actions: Sequence[Sequence[int]]) -> List[int]:
+        flat: List[int] = []
+        for k, agent in enumerate(actions):
+            expected = len(self.online.branch_sizes[k])
+            if len(agent) != expected:
+                raise ShapeError(
+                    f"agent {k} supplied {len(agent)} branch actions, expected {expected}"
+                )
+            flat.extend(int(a) for a in agent)
+        return flat
+
+    def _unflatten_actions(self, flat: np.ndarray) -> List[np.ndarray]:
+        """Split a (batch, total_branches) action matrix into per-branch columns."""
+        columns: List[np.ndarray] = []
+        offset = 0
+        for agent in self.online.branch_sizes:
+            for _ in agent:
+                columns.append(flat[:, offset].astype(np.int64))
+                offset += 1
+        return columns
+
+    def train_step(self) -> float:
+        """One minibatch gradient step (Algorithm 1, line 13)."""
+        config = self.config
+        if isinstance(self.buffer, PrioritizedReplayBuffer):
+            beta = self.beta_schedule(self.step_count)
+            batch = self.buffer.sample(config.batch_size, beta=beta)
+            weights = batch["weights"]
+        else:
+            batch = self.buffer.sample(config.batch_size)
+            weights = np.ones(config.batch_size)
+
+        states = batch["state"]
+        next_states = batch["next_state"]
+        rewards = batch["rewards"]
+        done = batch["done"].reshape(-1)
+        action_columns = self._unflatten_actions(batch["actions"])
+        batch_size = states.shape[0]
+        rows = np.arange(batch_size)
+
+        # Double Q-learning: online network picks actions, target evaluates.
+        online_next = self.online.forward(next_states, training=False)
+        target_next = self.target.forward(next_states, training=False)
+        targets: List[np.ndarray] = []
+        for k in range(self.num_agents):
+            branch_values = []
+            for d in range(len(self.online.branch_sizes[k])):
+                best = np.argmax(online_next[k][d], axis=1)
+                branch_values.append(target_next[k][d][rows, best])
+            mean_next = np.mean(branch_values, axis=0)
+            targets.append(rewards[:, k] + config.discount * (1.0 - done) * mean_next)
+
+        predictions = self.online.forward(states, training=True)
+        q_grads: List[List[np.ndarray]] = []
+        total_loss = 0.0
+        td_error_accum = np.zeros(batch_size)
+        column = 0
+        for k in range(self.num_agents):
+            agent_grads: List[np.ndarray] = []
+            for d in range(len(self.online.branch_sizes[k])):
+                chosen = action_columns[column]
+                column += 1
+                selected = predictions[k][d][rows, chosen]
+                loss, grad_selected = mse_loss(selected, targets[k], weight=weights)
+                total_loss += loss
+                grad = np.zeros_like(predictions[k][d])
+                grad[rows, chosen] = grad_selected
+                agent_grads.append(grad)
+                td_error_accum += np.abs(selected - targets[k])
+            q_grads.append(agent_grads)
+        # Paper: loss is the mean squared error across each branch per agent.
+        scale = 1.0 / self.online.total_branches
+        q_grads = [[g * scale for g in agent] for agent in q_grads]
+        total_loss *= scale
+
+        self.optimizer.zero_grad()
+        self.online.backward(q_grads)
+        self.optimizer.step()
+
+        if isinstance(self.buffer, PrioritizedReplayBuffer):
+            priorities = td_error_accum / self.online.total_branches
+            self.buffer.update_priorities(batch["indices"], priorities)
+
+        self.train_count += 1
+        self.last_loss = float(total_loss)
+        return self.last_loss
+
+    # ------------------------------------------------------------------ #
+    # transfer learning & persistence
+    # ------------------------------------------------------------------ #
+    def transfer(self, rng: Optional[np.random.Generator] = None, restart_epsilon_at: int = 0) -> None:
+        """Adapt the trained agent to a new problem (Section IV).
+
+        Re-randomises the output layer of every head, resyncs the target
+        network, and optionally rewinds the ε schedule to a mildly
+        exploratory point so new experience is gathered.
+        """
+        rng = rng or self._rng
+        self.online.reinitialize_output_layers(rng)
+        self.target.copy_from(self.online)
+        if restart_epsilon_at:
+            self.step_count = restart_epsilon_at
+
+    def save(self, path: Union[str, Path]) -> None:
+        save_weights(self.online.parameters(), path)
+
+    def load(self, path: Union[str, Path]) -> None:
+        load_weights(self.online.parameters(), path)
+        self.target.copy_from(self.online)

@@ -1,0 +1,242 @@
+"""(Multi-agent) Branching Dueling Q-Network.
+
+Implements the architecture of Section III-A / Figure 3 of the paper:
+
+- a **shared representation** trunk over the concatenated per-service state,
+- one **state-value head** per learning agent (service),
+- one **advantage branch** per action dimension per agent (e.g. core count
+  and DVFS state), each with its own hidden layer,
+- dueling aggregation per branch:
+  ``Q_kd(s, a) = V_k(s) + A_kd(s, a) - mean_a A_kd(s, a)``.
+
+Gradient rescaling follows the paper exactly: the combined gradient entering
+the deepest layer of each advantage branch is scaled by ``1/K`` (number of
+learning agents), and the combined gradient entering the shared
+representation is scaled by one over the total number of action dimensions.
+
+With ``num_agents == 1`` this reduces to the classic BDQ of Tavakoli et al.
+(used by Twig-S); with ``num_agents > 1`` it is the paper's multi-agent
+extension (used by Twig-C).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.initializers import glorot_uniform
+from repro.nn.layers import Dense, Dropout, Parameter, ReLU, Sequential
+from repro.nn.network import copy_parameters
+
+
+def _hidden_stack(
+    sizes: Sequence[int],
+    rng: np.random.Generator,
+    dropout: float,
+    name: str,
+) -> Sequential:
+    """Dense→ReLU(→Dropout) stack without an output layer."""
+    layers = []
+    for index in range(len(sizes) - 1):
+        layers.append(Dense(sizes[index], sizes[index + 1], rng, name=f"{name}.{index}"))
+        layers.append(ReLU())
+        if dropout > 0:
+            layers.append(Dropout(dropout, rng))
+    return Sequential(layers)
+
+
+def _head(
+    in_features: int,
+    hidden: int,
+    out_features: int,
+    rng: np.random.Generator,
+    dropout: float,
+    name: str,
+) -> Sequential:
+    """A branch/value head: one hidden layer then a linear output."""
+    layers = [
+        Dense(in_features, hidden, rng, name=f"{name}.hidden"),
+        ReLU(),
+    ]
+    if dropout > 0:
+        layers.append(Dropout(dropout, rng))
+    layers.append(
+        Dense(hidden, out_features, rng, weight_init=glorot_uniform, name=f"{name}.out")
+    )
+    return Sequential(layers)
+
+
+class BDQNetwork:
+    """Branching dueling Q-network with per-agent value heads.
+
+    Parameters
+    ----------
+    state_dim:
+        Size of the (concatenated) input state vector.
+    branch_sizes:
+        ``branch_sizes[k][d]`` is the number of discrete actions in agent
+        ``k``'s action dimension ``d``; e.g. ``[[18, 9], [18, 9]]`` for two
+        services each choosing a core count (1–18) and a DVFS index (0–8).
+    shared_hidden:
+        Widths of the shared trunk's hidden layers (paper: ``[512, 256]``).
+    branch_hidden:
+        Width of each branch's single hidden layer (paper: 128).
+    dropout:
+        Dropout rate after every fully connected layer (paper: 0.5).
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        branch_sizes: Sequence[Sequence[int]],
+        rng: np.random.Generator,
+        shared_hidden: Sequence[int] = (512, 256),
+        branch_hidden: int = 128,
+        dropout: float = 0.5,
+    ):
+        if state_dim <= 0:
+            raise ConfigurationError(f"state_dim must be positive, got {state_dim}")
+        if not branch_sizes or any(not agent for agent in branch_sizes):
+            raise ConfigurationError(f"branch_sizes must be non-empty per agent: {branch_sizes}")
+        for agent in branch_sizes:
+            for size in agent:
+                if size < 2:
+                    raise ConfigurationError(
+                        f"each action dimension needs >= 2 actions, got {branch_sizes}"
+                    )
+        self.state_dim = state_dim
+        self.branch_sizes = [list(agent) for agent in branch_sizes]
+        self.num_agents = len(self.branch_sizes)
+        self.total_branches = sum(len(agent) for agent in self.branch_sizes)
+        self.shared_hidden = list(shared_hidden)
+        self.branch_hidden = branch_hidden
+        self.dropout = dropout
+
+        self.trunk = _hidden_stack([state_dim, *shared_hidden], rng, dropout, "trunk")
+        trunk_out = self.shared_hidden[-1]
+        self.value_heads: List[Sequential] = [
+            _head(trunk_out, branch_hidden, 1, rng, dropout, f"value{k}")
+            for k in range(self.num_agents)
+        ]
+        self.adv_heads: List[List[Sequential]] = [
+            [
+                _head(trunk_out, branch_hidden, n, rng, dropout, f"adv{k}.{d}")
+                for d, n in enumerate(agent)
+            ]
+            for k, agent in enumerate(self.branch_sizes)
+        ]
+        self._last_batch: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(self, states: np.ndarray, training: bool = False) -> List[List[np.ndarray]]:
+        """Compute Q-values.
+
+        Returns ``q[k][d]`` of shape ``(batch, branch_sizes[k][d])``.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if states.shape[1] != self.state_dim:
+            raise ShapeError(f"expected state dim {self.state_dim}, got {states.shape[1]}")
+        shared = self.trunk.forward(states, training=training)
+        self._last_batch = states.shape[0]
+        q_values: List[List[np.ndarray]] = []
+        for k in range(self.num_agents):
+            value = self.value_heads[k].forward(shared, training=training)
+            agent_q: List[np.ndarray] = []
+            for d in range(len(self.branch_sizes[k])):
+                adv = self.adv_heads[k][d].forward(shared, training=training)
+                agent_q.append(value + adv - adv.mean(axis=1, keepdims=True))
+            q_values.append(agent_q)
+        return q_values
+
+    def backward(self, q_grads: Sequence[Sequence[np.ndarray]]) -> None:
+        """Backpropagate gradients w.r.t. every Q output.
+
+        ``q_grads`` mirrors the structure returned by :meth:`forward`. Must
+        be called directly after the ``forward`` whose activations should be
+        differentiated.
+        """
+        if self._last_batch is None:
+            raise ShapeError("backward called before forward")
+        trunk_out = self.shared_hidden[-1]
+        trunk_grad = np.zeros((self._last_batch, trunk_out))
+        for k in range(self.num_agents):
+            value_grad = np.zeros((self._last_batch, 1))
+            for d, grad in enumerate(q_grads[k]):
+                grad = np.asarray(grad, dtype=np.float64)
+                n = self.branch_sizes[k][d]
+                if grad.shape != (self._last_batch, n):
+                    raise ShapeError(
+                        f"q_grads[{k}][{d}] shape {grad.shape} != {(self._last_batch, n)}"
+                    )
+                # dQ/dV is 1 for every action output of the branch.
+                value_grad += grad.sum(axis=1, keepdims=True)
+                # dQ/dA through the dueling mean-subtraction.
+                adv_grad = grad - grad.sum(axis=1, keepdims=True) / n
+                # Paper: rescale the combined gradient entering the deepest
+                # layer of the advantage dimension by 1 / num agents.
+                adv_grad = adv_grad / self.num_agents
+                trunk_grad += self.adv_heads[k][d].backward(adv_grad)
+            trunk_grad += self.value_heads[k].backward(value_grad)
+        # Paper: rescale the combined shared-representation gradient by one
+        # over the number of action dimensions.
+        self.trunk.backward(trunk_grad / self.total_branches)
+
+    # ------------------------------------------------------------------ #
+    # parameters & utilities
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        params = list(self.trunk.parameters())
+        for head in self.value_heads:
+            params.extend(head.parameters())
+        for agent in self.adv_heads:
+            for head in agent:
+                params.extend(head.parameters())
+        return params
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+    def clone(self, rng: np.random.Generator) -> "BDQNetwork":
+        """A structurally identical network with copied weights."""
+        other = BDQNetwork(
+            self.state_dim,
+            self.branch_sizes,
+            rng,
+            shared_hidden=self.shared_hidden,
+            branch_hidden=self.branch_hidden,
+            dropout=self.dropout,
+        )
+        copy_parameters(self.parameters(), other.parameters())
+        return other
+
+    def copy_from(self, other: "BDQNetwork") -> None:
+        """Overwrite this network's weights with another's (target sync)."""
+        copy_parameters(other.parameters(), self.parameters())
+
+    def reinitialize_output_layers(self, rng: np.random.Generator) -> None:
+        """Transfer learning (Section IV): re-randomise every head's last layer.
+
+        The shared representation and hidden layers are kept; only the
+        specialised output layers are replaced so the network re-learns the
+        problem-specific mapping quickly.
+        """
+        heads = list(self.value_heads)
+        for agent in self.adv_heads:
+            heads.extend(agent)
+        for head in heads:
+            out = head.layers[-1]
+            assert isinstance(out, Dense)
+            out.weight.value = glorot_uniform(out.in_features, out.out_features, rng)
+            out.bias.value = np.zeros(out.out_features)
+
+    def greedy_actions(self, state: np.ndarray) -> List[List[int]]:
+        """Per-agent, per-branch argmax actions for a single state."""
+        q_values = self.forward(np.atleast_2d(state), training=False)
+        return [[int(np.argmax(q[0])) for q in agent] for agent in q_values]

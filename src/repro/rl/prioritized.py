@@ -1,0 +1,74 @@
+"""Proportional prioritised experience replay (Schaul et al., 2015).
+
+The paper uses PER with a buffer of 10^6 transitions, priority exponent
+``alpha = 0.6`` and importance-sampling exponent ``beta`` annealed linearly
+from 0.4 to 1 (Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rl.replay import ReplayBuffer
+from repro.rl.sum_tree import SumTree
+
+
+class PrioritizedReplayBuffer(ReplayBuffer):
+    """Replay buffer sampling transitions proportionally to priority^alpha."""
+
+    def __init__(
+        self,
+        capacity: int,
+        rng: np.random.Generator,
+        alpha: float = 0.6,
+        eps: float = 1e-4,
+    ):
+        super().__init__(capacity, rng)
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.eps = eps
+        self._tree = SumTree(capacity)
+        self._max_priority = 1.0
+
+    def add(self, transition: Mapping[str, np.ndarray]) -> int:
+        """Store a transition at the maximum priority seen so far."""
+        index = super().add(transition)
+        self._tree.update(index, self._max_priority ** self.alpha)
+        return index
+
+    def sample(self, batch_size: int, beta: float = 1.0) -> Dict[str, np.ndarray]:
+        """Sample proportionally to priority; adds IS ``weights`` to the batch.
+
+        Weights are normalised by the maximum weight in the batch so that
+        updates are only ever scaled down, as in the original paper.
+        """
+        if len(self) == 0:
+            raise ConfigurationError("cannot sample from an empty replay buffer")
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+        total = self._tree.total
+        segment = total / batch_size
+        indices = np.empty(batch_size, dtype=np.int64)
+        priorities = np.empty(batch_size)
+        for i in range(batch_size):
+            mass = segment * i + self._rng.random() * segment
+            leaf = self._tree.find(mass)
+            indices[i] = leaf
+            priorities[i] = max(self._tree[leaf], self.eps ** self.alpha)
+        probabilities = priorities / total
+        weights = (len(self) * probabilities) ** (-beta)
+        weights /= weights.max()
+        batch = self.gather(indices)
+        batch["weights"] = weights
+        return batch
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        """Set new priorities from absolute TD errors."""
+        for index, error in zip(np.asarray(indices), np.asarray(td_errors)):
+            priority = float(abs(error)) + self.eps
+            self._max_priority = max(self._max_priority, priority)
+            self._tree.update(int(index), priority ** self.alpha)

@@ -1,0 +1,75 @@
+"""Uniform experience replay.
+
+Transitions are stored column-wise in preallocated ring buffers keyed by
+field name, which keeps sampling a cheap fancy-index operation even at the
+paper's buffer size of 10^6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling.
+
+    Fields are declared lazily from the first transition added; every later
+    transition must carry the same fields with the same shapes.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = rng
+        self._storage: Optional[Dict[str, np.ndarray]] = None
+        self._next_index = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _allocate(self, transition: Mapping[str, np.ndarray]) -> None:
+        self._storage = {}
+        for key, value in transition.items():
+            array = np.asarray(value, dtype=np.float64)
+            self._storage[key] = np.zeros((self.capacity,) + array.shape)
+
+    def add(self, transition: Mapping[str, np.ndarray]) -> int:
+        """Store one transition; returns the slot index it was written to."""
+        if self._storage is None:
+            self._allocate(transition)
+        assert self._storage is not None
+        if set(transition) != set(self._storage):
+            raise ShapeError(
+                f"transition fields {sorted(transition)} != buffer fields {sorted(self._storage)}"
+            )
+        index = self._next_index
+        for key, value in transition.items():
+            array = np.asarray(value, dtype=np.float64)
+            if array.shape != self._storage[key].shape[1:]:
+                raise ShapeError(
+                    f"field {key!r} shape {array.shape} != expected {self._storage[key].shape[1:]}"
+                )
+            self._storage[key][index] = array
+        self._next_index = (self._next_index + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        return index
+
+    def sample(self, batch_size: int) -> Dict[str, np.ndarray]:
+        """Sample ``batch_size`` transitions uniformly with replacement."""
+        if self._size == 0:
+            raise ShapeError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(0, self._size, size=batch_size)
+        return self.gather(indices)
+
+    def gather(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        """Fetch transitions at explicit slot indices."""
+        assert self._storage is not None
+        batch = {key: store[indices] for key, store in self._storage.items()}
+        batch["indices"] = np.asarray(indices)
+        return batch

@@ -1,0 +1,70 @@
+"""Annealing schedules.
+
+The paper anneals the exploration rate ε from 1 to 0.1 over the first
+10 000 s and on to 0.01 by 25 000 s, and linearly anneals the prioritised
+replay exponent β from 0.4 to 1 (Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class LinearSchedule:
+    """Linear interpolation from ``start`` to ``end`` over ``steps`` steps."""
+
+    def __init__(self, start: float, end: float, steps: int):
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        self.start = float(start)
+        self.end = float(end)
+        self.steps = int(steps)
+
+    def value(self, step: int) -> float:
+        if step <= 0:
+            return self.start
+        if step >= self.steps:
+            return self.end
+        fraction = step / self.steps
+        return self.start + fraction * (self.end - self.start)
+
+    def __call__(self, step: int) -> float:
+        return self.value(step)
+
+
+class PiecewiseSchedule:
+    """Piecewise-linear schedule through ``(step, value)`` knots.
+
+    Values before the first knot clamp to the first value; values after the
+    last knot clamp to the last value.
+
+    Example (the paper's ε schedule)
+    --------------------------------
+    >>> eps = PiecewiseSchedule([(0, 1.0), (10_000, 0.1), (25_000, 0.01)])
+    >>> eps(0), eps(10_000), eps(25_000)
+    (1.0, 0.1, 0.01)
+    """
+
+    def __init__(self, knots: Sequence[Tuple[int, float]]):
+        if len(knots) < 2:
+            raise ConfigurationError("PiecewiseSchedule needs at least two knots")
+        steps = [int(step) for step, _ in knots]
+        if steps != sorted(steps) or len(set(steps)) != len(steps):
+            raise ConfigurationError(f"knot steps must be strictly increasing, got {steps}")
+        self.knots: List[Tuple[int, float]] = [(int(s), float(v)) for s, v in knots]
+
+    def value(self, step: int) -> float:
+        if step <= self.knots[0][0]:
+            return self.knots[0][1]
+        if step >= self.knots[-1][0]:
+            return self.knots[-1][1]
+        for (s0, v0), (s1, v1) in zip(self.knots, self.knots[1:]):
+            if s0 <= step <= s1:
+                fraction = (step - s0) / (s1 - s0)
+                return v0 + fraction * (v1 - v0)
+        raise AssertionError("unreachable: step within knot range not found")
+
+    def __call__(self, step: int) -> float:
+        return self.value(step)

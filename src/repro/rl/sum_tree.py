@@ -1,0 +1,71 @@
+"""Array-backed sum tree supporting O(log n) prefix-sum sampling.
+
+This is the classic data structure underlying proportional prioritised
+experience replay: leaves hold per-transition priorities, internal nodes
+hold subtree sums, and sampling walks down from the root following a
+uniform draw over the total mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class SumTree:
+    """A complete binary tree over ``capacity`` leaf priorities."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        # Pad to a power of two so the node = leaf_count + leaf mapping keeps
+        # leaves in index order (required for cumulative-interval sampling).
+        self._leaf_count = 1
+        while self._leaf_count < self.capacity:
+            self._leaf_count *= 2
+        self._tree = np.zeros(2 * self._leaf_count)
+
+    @property
+    def total(self) -> float:
+        """Sum of all leaf priorities."""
+        return float(self._tree[1])
+
+    def __getitem__(self, leaf: int) -> float:
+        self._check_leaf(leaf)
+        return float(self._tree[self._leaf_count + leaf])
+
+    def _check_leaf(self, leaf: int) -> None:
+        if not 0 <= leaf < self.capacity:
+            raise IndexError(f"leaf {leaf} out of range [0, {self.capacity})")
+
+    def update(self, leaf: int, priority: float) -> None:
+        """Set the priority of a leaf and propagate sums to the root."""
+        self._check_leaf(leaf)
+        if priority < 0 or not np.isfinite(priority):
+            raise ConfigurationError(f"priority must be finite and >= 0, got {priority}")
+        node = self._leaf_count + leaf
+        delta = priority - self._tree[node]
+        while node >= 1:
+            self._tree[node] += delta
+            node //= 2
+
+    def find(self, mass: float) -> int:
+        """Return the leaf whose cumulative-priority interval contains ``mass``."""
+        if self.total <= 0:
+            raise ConfigurationError("cannot sample from an all-zero sum tree")
+        mass = min(max(mass, 0.0), self.total)
+        node = 1
+        while node < self._leaf_count:
+            left = 2 * node
+            left_sum = self._tree[left]
+            right_sum = self._tree[left + 1]
+            if left_sum <= 0.0:
+                node = left + 1
+            elif right_sum <= 0.0 or mass <= left_sum:
+                node = left
+            else:
+                mass -= left_sum
+                node = left + 1
+        return node - self._leaf_count

@@ -1,0 +1,131 @@
+"""Static server description.
+
+Defaults mirror the paper's evaluation platform (Section V): a node with
+two Intel Xeon E5-2695v4 sockets, 18 cores per socket (36 total,
+hyper-threading disabled), per-core DVFS from 1.20 GHz to 2.00 GHz in
+0.1 GHz steps, 45 MB LLC per socket and DDR4-2400 memory.
+
+Note: the paper is internally inconsistent about the DVFS ladder — Section V
+states 1.20-2.00 GHz in 0.1 steps (9 states) while Section V-B1 counts "10
+DVFS states". We follow the explicit ladder (9 states); the ladder length is
+configurable for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DvfsLadder:
+    """An ordered list of available core frequencies, in GHz."""
+
+    frequencies_ghz: Tuple[float, ...] = tuple(round(1.2 + 0.1 * i, 1) for i in range(9))
+
+    def __post_init__(self) -> None:
+        freqs = self.frequencies_ghz
+        if len(freqs) < 2:
+            raise ConfigurationError(f"DVFS ladder needs >= 2 states, got {freqs}")
+        if list(freqs) != sorted(freqs) or len(set(freqs)) != len(freqs):
+            raise ConfigurationError(f"DVFS ladder must be strictly increasing: {freqs}")
+        if freqs[0] <= 0:
+            raise ConfigurationError(f"frequencies must be positive: {freqs}")
+
+    def __len__(self) -> int:
+        return len(self.frequencies_ghz)
+
+    def __getitem__(self, index: int) -> float:
+        return self.frequencies_ghz[index]
+
+    @property
+    def min_ghz(self) -> float:
+        return self.frequencies_ghz[0]
+
+    @property
+    def max_ghz(self) -> float:
+        return self.frequencies_ghz[-1]
+
+    def index_of(self, frequency_ghz: float) -> int:
+        """Index of an exact frequency; raises if not on the ladder."""
+        try:
+            return self.frequencies_ghz.index(round(frequency_ghz, 3))
+        except ValueError:
+            raise ConfigurationError(
+                f"{frequency_ghz} GHz not on ladder {self.frequencies_ghz}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """One CPU socket."""
+
+    cores: int = 18
+    llc_mb: float = 45.0
+    membw_gbps: float = 60.0  # achievable DDR4-2400 stream bandwidth
+    llc_ways: int = 20        # CAT way-partitioning granularity
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"socket needs >= 1 core, got {self.cores}")
+        if self.llc_mb <= 0 or self.membw_gbps <= 0:
+            raise ConfigurationError("llc_mb and membw_gbps must be positive")
+        if self.llc_ways <= 0:
+            raise ConfigurationError(f"llc_ways must be positive, got {self.llc_ways}")
+
+    @property
+    def mb_per_way(self) -> float:
+        return self.llc_mb / self.llc_ways
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Whole-node description plus physical power coefficients.
+
+    Power coefficients approximate an E5-2695v4-class part: roughly 30 W
+    idle per socket, ~120 W TDP, dynamic power following C.V(f)^2.f with a
+    linear voltage/frequency relationship.
+    """
+
+    sockets: int = 2
+    socket: SocketSpec = field(default_factory=SocketSpec)
+    dvfs: DvfsLadder = field(default_factory=DvfsLadder)
+    # power model coefficients
+    idle_power_w: float = 18.0          # per socket, everything hotplugged off
+    core_static_w: float = 0.50         # per enabled core, frequency independent
+    dynamic_coeff: float = 2.20         # C in P_dyn = C * V^2 * f * utilisation (per core)
+    voltage_base_v: float = 0.60        # V(f) = voltage_base + voltage_slope * f_GHz
+    voltage_slope: float = 0.22
+    uncore_bw_w: float = 18.0           # extra uncore power at 100% memory-bandwidth use
+    tdp_w: float = 120.0                # per socket
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ConfigurationError(f"need >= 1 socket, got {self.sockets}")
+        for name in ("idle_power_w", "core_static_w", "dynamic_coeff",
+                     "voltage_base_v", "voltage_slope", "uncore_bw_w", "tdp_w"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.socket.cores
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.socket.cores
+
+    def voltage(self, frequency_ghz: float) -> float:
+        """Linear V(f) model."""
+        return self.voltage_base_v + self.voltage_slope * frequency_ghz
+
+    def socket_core_ids(self, socket_index: int) -> List[int]:
+        """Global core ids belonging to a socket (contiguous blocks)."""
+        if not 0 <= socket_index < self.sockets:
+            raise ConfigurationError(
+                f"socket index {socket_index} out of range [0, {self.sockets})"
+            )
+        start = socket_index * self.socket.cores
+        return list(range(start, start + self.socket.cores))

@@ -1,0 +1,169 @@
+"""Request-rate generators for the evaluation workloads.
+
+The paper drives services with (a) fixed loads of 20/50/80 % of each
+service's maximum (Figures 5, 13), (b) a step-wise monotonic varying load
+whose level multiplies/divides by a change factor every 200 s
+(Figures 10, 11), and (c) diurnal variations typical of data centres.
+All generators express load as a *fraction of the service's maximum load*
+and convert through ``max_load_rps``; all add optional multiplicative
+Gaussian jitter to mimic real arrival-rate variance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class LoadGenerator:
+    """Base class: deterministic profile + multiplicative jitter."""
+
+    def __init__(
+        self,
+        max_load_rps: float,
+        rng: Optional[np.random.Generator] = None,
+        jitter_std: float = 0.02,
+    ):
+        if max_load_rps <= 0:
+            raise ConfigurationError(f"max_load_rps must be positive, got {max_load_rps}")
+        if jitter_std < 0:
+            raise ConfigurationError(f"jitter_std must be >= 0, got {jitter_std}")
+        self.max_load_rps = max_load_rps
+        self.jitter_std = jitter_std
+        self._rng = rng or np.random.default_rng(0)
+
+    def fraction(self, t: int) -> float:
+        """Deterministic load fraction of maximum at time-step ``t``."""
+        raise NotImplementedError
+
+    def rate(self, t: int) -> float:
+        """Jittered arrival rate (requests/s) at time-step ``t``."""
+        base = self.fraction(t) * self.max_load_rps
+        if self.jitter_std > 0:
+            base *= 1.0 + self._rng.normal(0.0, self.jitter_std)
+        return max(base, 0.0)
+
+
+class ConstantLoad(LoadGenerator):
+    """Fixed load at a fraction of maximum (the paper's low/mid/high)."""
+
+    def __init__(
+        self,
+        max_load_rps: float,
+        load_fraction: float,
+        rng: Optional[np.random.Generator] = None,
+        jitter_std: float = 0.02,
+    ):
+        super().__init__(max_load_rps, rng, jitter_std)
+        if not 0.0 <= load_fraction <= 1.5:
+            raise ConfigurationError(f"load_fraction out of range: {load_fraction}")
+        self.load_fraction = load_fraction
+
+    def fraction(self, t: int) -> float:
+        return self.load_fraction
+
+
+class StepwiseVaryingLoad(LoadGenerator):
+    """The paper's step-wise monotonic load (Figure 10).
+
+    The load starts at ``min_fraction`` and is multiplied by
+    ``change_factor`` every ``step_every`` seconds until it reaches
+    ``max_fraction``; it is then repeatedly divided by the change factor
+    back down to the minimum, and the cycle repeats.
+    """
+
+    def __init__(
+        self,
+        max_load_rps: float,
+        min_fraction: float = 0.2,
+        max_fraction: float = 1.0,
+        change_factor: float = 1.2,
+        step_every: int = 200,
+        rng: Optional[np.random.Generator] = None,
+        jitter_std: float = 0.02,
+    ):
+        super().__init__(max_load_rps, rng, jitter_std)
+        if not 0 < min_fraction < max_fraction:
+            raise ConfigurationError(
+                f"need 0 < min_fraction < max_fraction, got ({min_fraction}, {max_fraction})"
+            )
+        if change_factor <= 1.0:
+            raise ConfigurationError(f"change_factor must be > 1, got {change_factor}")
+        if step_every <= 0:
+            raise ConfigurationError(f"step_every must be positive, got {step_every}")
+        self.min_fraction = min_fraction
+        self.max_fraction = max_fraction
+        self.change_factor = change_factor
+        self.step_every = step_every
+        self._levels = self._build_cycle()
+
+    def _build_cycle(self) -> Sequence[float]:
+        rising = [self.min_fraction]
+        while rising[-1] * self.change_factor < self.max_fraction:
+            rising.append(rising[-1] * self.change_factor)
+        rising.append(self.max_fraction)
+        falling = rising[-2:0:-1]  # back down, excluding both endpoints
+        return rising + falling
+
+    def fraction(self, t: int) -> float:
+        index = (t // self.step_every) % len(self._levels)
+        return self._levels[index]
+
+
+class DiurnalLoad(LoadGenerator):
+    """Smooth day/night load variation (Meisner et al.; paper Section V-B).
+
+    A raised sinusoid between ``min_fraction`` and ``max_fraction`` with a
+    configurable period (scaled down from 24 h so experiments fit in
+    simulated minutes).
+    """
+
+    def __init__(
+        self,
+        max_load_rps: float,
+        min_fraction: float = 0.2,
+        max_fraction: float = 0.9,
+        period: int = 2000,
+        phase: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        jitter_std: float = 0.02,
+    ):
+        super().__init__(max_load_rps, rng, jitter_std)
+        if not 0 <= min_fraction < max_fraction:
+            raise ConfigurationError(
+                f"need 0 <= min_fraction < max_fraction, got ({min_fraction}, {max_fraction})"
+            )
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        self.min_fraction = min_fraction
+        self.max_fraction = max_fraction
+        self.period = period
+        self.phase = phase
+
+    def fraction(self, t: int) -> float:
+        mid = 0.5 * (self.min_fraction + self.max_fraction)
+        amp = 0.5 * (self.max_fraction - self.min_fraction)
+        return mid + amp * np.sin(2.0 * np.pi * t / self.period + self.phase)
+
+
+class TraceLoad(LoadGenerator):
+    """Replay an explicit sequence of load fractions (clamped at the end)."""
+
+    def __init__(
+        self,
+        max_load_rps: float,
+        fractions: Sequence[float],
+        rng: Optional[np.random.Generator] = None,
+        jitter_std: float = 0.0,
+    ):
+        super().__init__(max_load_rps, rng, jitter_std)
+        if len(fractions) == 0:
+            raise ConfigurationError("trace must contain at least one fraction")
+        self._fractions = list(float(f) for f in fractions)
+
+    def fraction(self, t: int) -> float:
+        index = min(max(t, 0), len(self._fractions) - 1)
+        return self._fractions[index]

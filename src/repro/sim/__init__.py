@@ -1,0 +1,20 @@
+"""Environment glue: PMC synthesis and the colocation environment.
+
+- :mod:`repro.sim.telemetry` — turns a service's ground-truth interval
+  activity into the 11 noisy Table-I counter readings a profiling tool
+  would report.
+- :mod:`repro.sim.environment` — wires machine, power, interference,
+  services and telemetry into a single ``step(assignments)`` loop that
+  task managers (Twig and the baselines) drive.
+"""
+
+from repro.sim.environment import ColocationEnvironment, EnvironmentConfig, ServiceObservation, StepResult
+from repro.sim.telemetry import TelemetrySynthesizer
+
+__all__ = [
+    "ColocationEnvironment",
+    "EnvironmentConfig",
+    "ServiceObservation",
+    "StepResult",
+    "TelemetrySynthesizer",
+]

@@ -1,0 +1,322 @@
+"""The colocation environment that task managers drive.
+
+One :class:`ColocationEnvironment` hosts N latency-critical services on one
+socket of the simulated server (the paper pins servers to one socket and
+clients to the other). Each call to :meth:`ColocationEnvironment.step`
+installs the managers' core/DVFS assignments, advances one control
+interval, and returns per-service observations (tail latency, raw PMCs)
+plus the socket power reading — exactly the information Twig and the
+baseline controllers consume on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.server.machine import CoreAssignment, Machine
+from repro.server.power import PowerModel, RaplSensor
+from repro.server.spec import ServerSpec
+from repro.services.interference import InterferenceModel, ServiceDemand
+from repro.services.loadgen import LoadGenerator
+from repro.services.profiles import ServiceProfile
+from repro.services.service import IntervalResult, LCService
+from repro.sim.telemetry import TelemetrySynthesizer
+
+
+@dataclass(frozen=True)
+class EnvironmentConfig:
+    """Environment-wide knobs; defaults mirror the paper's setup."""
+
+    spec: ServerSpec = field(default_factory=ServerSpec)
+    socket_index: int = 1          # servers live on socket one, clients on zero
+    interval_s: float = 1.0        # Twig's control/monitoring interval
+    latency_noise_std: float = 0.05
+    telemetry_noise_std: float = 0.015
+    rapl_noise_std: float = 0.01
+    hotplug_unused: bool = False   # disable unallocated cores (power profiling)
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigurationError(f"interval_s must be positive: {self.interval_s}")
+        if not 0 <= self.socket_index < self.spec.sockets:
+            raise ConfigurationError(f"socket_index out of range: {self.socket_index}")
+
+
+@dataclass(frozen=True)
+class ServiceObservation:
+    """What a task manager can see about one service after an interval."""
+
+    interval: IntervalResult
+    pmcs: Dict[str, float]
+
+    @property
+    def p99_ms(self) -> float:
+        return self.interval.p99_ms
+
+    @property
+    def qos_met(self) -> bool:
+        return self.interval.qos_met
+
+    @property
+    def tardiness(self) -> float:
+        return self.interval.tardiness
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Everything produced by one environment step."""
+
+    time: int
+    observations: Dict[str, ServiceObservation]
+    socket_power_w: float          # noisy RAPL reading for the server socket
+    true_power_w: float
+    membw_utilization: float
+    energy_j: float                # cumulative server-socket energy
+
+
+class ColocationEnvironment:
+    """N LC services sharing one socket of the simulated server."""
+
+    def __init__(
+        self,
+        config: EnvironmentConfig,
+        profiles: Sequence[ServiceProfile],
+        load_generators: Mapping[str, LoadGenerator],
+        rng: np.random.Generator,
+        qos_targets: Optional[Mapping[str, float]] = None,
+    ):
+        if not profiles:
+            raise ConfigurationError("environment needs at least one service")
+        names = [p.name for p in profiles]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate service names: {names}")
+        missing = set(names) - set(load_generators)
+        if missing:
+            raise ConfigurationError(f"missing load generators for: {sorted(missing)}")
+        self.config = config
+        self.spec = config.spec
+        self._rng = rng
+        self.machine = Machine(config.spec)
+        self.power_model = PowerModel(config.spec)
+        self.rapl = RaplSensor(rng, noise_std=config.rapl_noise_std)
+        self.interference = InterferenceModel(
+            membw_capacity_gbps=config.spec.socket.membw_gbps,
+            llc_capacity_mb=config.spec.socket.llc_mb,
+        )
+        self.telemetry = TelemetrySynthesizer(rng, noise_std=config.telemetry_noise_std)
+        qos_targets = qos_targets or {}
+        self.services: Dict[str, LCService] = {
+            p.name: LCService(
+                p,
+                max_frequency_ghz=config.spec.dvfs.max_ghz,
+                rng=rng,
+                latency_noise_std=config.latency_noise_std,
+                qos_target_ms=qos_targets.get(p.name),
+            )
+            for p in profiles
+        }
+        self.load_generators = dict(load_generators)
+        self.time = 0
+        self.last_result: Optional[StepResult] = None
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def service_names(self) -> List[str]:
+        return list(self.services)
+
+    @property
+    def socket_core_ids(self) -> List[int]:
+        return self.spec.socket_core_ids(self.config.socket_index)
+
+    @property
+    def energy_j(self) -> float:
+        return self.rapl.energy_j
+
+    def max_power_w(self) -> float:
+        """Stress-microbenchmark socket power (reward normalisation)."""
+        return self.power_model.max_power_w()
+
+    def profile_of(self, name: str) -> ServiceProfile:
+        return self.services[name].profile
+
+    def qos_target_of(self, name: str) -> float:
+        return self.services[name].qos_target_ms
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    def step(self, assignments: Mapping[str, CoreAssignment]) -> StepResult:
+        """Install assignments and advance one control interval."""
+        if set(assignments) != set(self.services):
+            raise AllocationError(
+                f"assignments for {sorted(assignments)} but services are "
+                f"{sorted(self.services)}"
+            )
+        self._check_socket(assignments)
+        self.machine.apply(assignments)
+
+        interval = self.config.interval_s
+        arrivals = {
+            name: self.load_generators[name].rate(self.time) for name in self.services
+        }
+        capacities = self._effective_capacities(arrivals)
+        # First pass: expected throughput at zero contention, to build the
+        # socket demand vector (one-step relaxation of the fixed point).
+        demands: Dict[str, ServiceDemand] = {}
+        for name, service in self.services.items():
+            freq = self.machine.frequency_of(name)
+            capacity = service.profile.capacity_rps(
+                capacities[name], freq, self.spec.dvfs.max_ghz
+            )
+            expected = min(arrivals[name] + service.backlog / interval, capacity)
+            demands[name] = ServiceDemand(
+                profile=service.profile,
+                throughput_rps=expected,
+                llc_quota_mb=assignments[name].llc_ways * self.spec.socket.mb_per_way,
+            )
+        contention = self.interference.resolve(demands)
+
+        observations: Dict[str, ServiceObservation] = {}
+        for name, service in self.services.items():
+            cores = capacities[name]
+            freq = self.machine.frequency_of(name)
+            result = service.step(
+                arrival_rate=arrivals[name],
+                cores=cores,
+                frequency_ghz=freq,
+                contention=contention[name],
+                interval_s=interval,
+            )
+            pmcs = self.telemetry.synthesize(service.profile, result)
+            observations[name] = ServiceObservation(interval=result, pmcs=pmcs)
+
+        membw_util = (
+            next(iter(contention.values())).membw_utilization if contention else 0.0
+        )
+        true_power = self._socket_power(observations, membw_util)
+        readings = self.rapl.poll(
+            {self.config.socket_index: true_power}, interval_s=interval
+        )
+        self.time += 1
+        self.last_result = StepResult(
+            time=self.time,
+            observations=observations,
+            socket_power_w=readings[self.config.socket_index],
+            true_power_w=true_power,
+            membw_utilization=membw_util,
+            energy_j=self.rapl.energy_j,
+        )
+        return self.last_result
+
+    def _effective_capacities(self, arrivals: Mapping[str, float]) -> Dict[str, float]:
+        """Core-equivalents per service with demand-aware timesharing.
+
+        A core pinned to k services is scheduled like CFS: each service is
+        *guaranteed* 1/k of it but may consume up to whatever its
+        co-runners leave idle. Per shared core, service i's usable share is
+        ``max(1/k, 1 - sum of the other services' per-core demand)``.
+        """
+        interval = self.config.interval_s
+        per_core_demand: Dict[str, float] = {}
+        for name, service in self.services.items():
+            cores = self.machine.cores_of(name)
+            freq = self.machine.frequency_of(name)
+            service_ms = service.profile.cpu_ms_per_req * service.profile.frequency_factor(
+                freq, self.spec.dvfs.max_ghz
+            )
+            offered = arrivals[name] + service.backlog / interval
+            busy_cores = offered * service_ms / 1000.0
+            per_core_demand[name] = min(busy_cores / max(len(cores), 1), 1.5)
+        capacities: Dict[str, float] = {}
+        for name in self.services:
+            total = 0.0
+            for core in self.machine.cores_of(name):
+                if not core.online:
+                    continue
+                k = len(core.services)
+                others = sum(
+                    per_core_demand[other] for other in core.services if other != name
+                )
+                total += float(np.clip(1.0 - others, 1.0 / k, 1.0))
+            capacities[name] = max(total, 1e-6)
+        return capacities
+
+    def _check_socket(self, assignments: Mapping[str, CoreAssignment]) -> None:
+        valid = set(self.socket_core_ids)
+        for name, assignment in assignments.items():
+            outside = [c for c in assignment.cores if c not in valid]
+            if outside:
+                raise AllocationError(
+                    f"service {name!r} assigned cores {outside} outside server "
+                    f"socket {self.config.socket_index}"
+                )
+
+    def _socket_power(
+        self, observations: Mapping[str, ServiceObservation], membw_util: float
+    ) -> float:
+        """Ground-truth server-socket power for the interval."""
+        core_util: Dict[int, float] = {}
+        core_freq: Dict[int, float] = {}
+        for name, obs in observations.items():
+            profile = self.services[name].profile
+            # Allocated cores are never fully idle: LC services busy-poll,
+            # so an assigned core draws dynamic power even between requests
+            # (this is why reclaiming cores saves energy on real servers).
+            busy = obs.interval.utilization
+            effective = busy + profile.active_idle_util * (1.0 - busy)
+            for core in self.machine.cores_of(name):
+                # Threads of every pinned service contend for the core; the
+                # scheduler interleaves them, so activity adds up (capped at
+                # 1 below) — a core shared by two spinning services is hot.
+                core_util[core.core_id] = core_util.get(core.core_id, 0.0) + effective
+                core_freq[core.core_id] = self.spec.dvfs[core.freq_index]
+        activity = []
+        online = 0
+        for core_id in self.socket_core_ids:
+            core = self.machine.cores[core_id]
+            allocated = core_id in core_util
+            if self.config.hotplug_unused and not allocated:
+                continue
+            online += 1
+            if allocated:
+                activity.append(
+                    (core_freq[core_id], float(np.clip(core_util[core_id], 0.0, 1.0)))
+                )
+            else:
+                activity.append((self.spec.dvfs[core.freq_index], 0.0))
+        breakdown = self.power_model.socket_power(
+            activity, membw_utilization=membw_util, online_cores=online
+        )
+        return breakdown.total_w
+
+    # ------------------------------------------------------------------ #
+    # service swap (transfer-learning experiments)
+    # ------------------------------------------------------------------ #
+    def swap_service(
+        self,
+        old_name: str,
+        new_profile: ServiceProfile,
+        load_generator: LoadGenerator,
+        qos_target_ms: Optional[float] = None,
+    ) -> None:
+        """Replace a running service with a new one (Figures 8 and 9)."""
+        if old_name not in self.services:
+            raise ConfigurationError(f"unknown service {old_name!r}")
+        if new_profile.name in self.services and new_profile.name != old_name:
+            raise ConfigurationError(f"service {new_profile.name!r} already present")
+        del self.services[old_name]
+        del self.load_generators[old_name]
+        self.services[new_profile.name] = LCService(
+            new_profile,
+            max_frequency_ghz=self.spec.dvfs.max_ghz,
+            rng=self._rng,
+            latency_noise_std=self.config.latency_noise_std,
+            qos_target_ms=qos_target_ms,
+        )
+        self.load_generators[new_profile.name] = load_generator

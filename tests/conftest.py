@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server.spec import DvfsLadder, ServerSpec, SocketSpec
+from repro.services.profiles import get_profile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def spec() -> ServerSpec:
+    """The paper's platform: 2 sockets x 18 cores, 1.2-2.0 GHz."""
+    return ServerSpec()
+
+
+@pytest.fixture
+def small_spec() -> ServerSpec:
+    """A small machine for fast mapper/environment tests."""
+    return ServerSpec(
+        sockets=2,
+        socket=SocketSpec(cores=8, llc_mb=20.0, membw_gbps=40.0),
+        dvfs=DvfsLadder(frequencies_ghz=(1.2, 1.6, 2.0)),
+    )
+
+
+@pytest.fixture
+def masstree():
+    return get_profile("masstree")
+
+
+@pytest.fixture
+def moses():
+    return get_profile("moses")
+
+
+@pytest.fixture
+def xapian():
+    return get_profile("xapian")

@@ -1,0 +1,139 @@
+"""Unit and property tests for the analysis package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    histogram_density,
+    summary_quantiles,
+    violin_stats,
+)
+from repro.analysis.textplot import bar_chart, series_table, sparkline
+from repro.errors import ConfigurationError, ShapeError
+
+
+# --------------------------------------------------------------------- #
+# stats
+# --------------------------------------------------------------------- #
+def test_density_integrates_to_one(rng):
+    density = histogram_density(rng.normal(size=5000), bins=60)
+    assert float(np.sum(density.density) * density.bin_width) == pytest.approx(1.0)
+
+
+def test_density_mode_near_true_mode(rng):
+    density = histogram_density(rng.normal(loc=3.0, size=20000), bins=60)
+    assert density.mode == pytest.approx(3.0, abs=0.3)
+
+
+def test_density_at_outside_support_is_zero(rng):
+    density = histogram_density(rng.uniform(0, 1, size=100))
+    assert density.at(99.0) == 0.0
+    assert density.at(0.5) > 0.0
+
+
+def test_density_validation(rng):
+    with pytest.raises(ConfigurationError):
+        histogram_density([1.0])
+    with pytest.raises(ConfigurationError):
+        histogram_density([1.0, 2.0], bins=1)
+    with pytest.raises(ConfigurationError):
+        histogram_density([1.0, 2.0], bounds=(2.0, 1.0))
+
+
+def test_violin_buckets_cover_population(rng):
+    x = rng.uniform(0, 10, size=1000)
+    y = x * 2 + rng.normal(size=1000)
+    buckets = violin_stats(x, y, buckets=4)
+    assert len(buckets) == 4
+    assert sum(b.count for b in buckets) >= 990  # boundary overlap allowed
+    # medians track the conditional mean of y|x
+    medians = [b.median for b in buckets]
+    assert medians == sorted(medians)
+
+
+def test_violin_quartiles_ordered(rng):
+    x = rng.uniform(0, 1, size=500)
+    y = rng.normal(size=500)
+    for bucket in violin_stats(x, y, buckets=3):
+        assert bucket.whisker_low <= bucket.q25 <= bucket.median <= bucket.q75 <= bucket.whisker_high
+
+
+def test_violin_shape_mismatch(rng):
+    with pytest.raises(ShapeError):
+        violin_stats([1.0, 2.0], [1.0])
+
+
+def test_summary_quantiles_keys(rng):
+    out = summary_quantiles(rng.normal(size=100), quantiles=(0.5, 0.99))
+    assert set(out) == {"mean", "std", "p50", "p99"}
+    with pytest.raises(ConfigurationError):
+        summary_quantiles([])
+    with pytest.raises(ConfigurationError):
+        summary_quantiles([1.0], quantiles=(1.5,))
+
+
+def test_bootstrap_ci_contains_true_mean(rng):
+    data = rng.normal(loc=5.0, scale=1.0, size=400)
+    low, high = bootstrap_ci(data, rng=rng)
+    assert low < 5.0 < high
+    assert high - low < 0.5
+
+
+@settings(max_examples=25)
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=50))
+def test_bootstrap_ci_is_ordered(data):
+    low, high = bootstrap_ci(data, n_resamples=200)
+    assert low <= high
+
+
+# --------------------------------------------------------------------- #
+# textplot
+# --------------------------------------------------------------------- #
+def test_sparkline_length_and_extremes():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_constant_series():
+    assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+
+def test_sparkline_explicit_bounds():
+    line = sparkline([5.0], low=0.0, high=10.0)
+    assert line in "▁▂▃▄▅▆▇█"
+
+
+def test_bar_chart_renders_all_entries():
+    chart = bar_chart({"twig": 0.7, "static": 1.0}, width=10, reference=1.0)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert "twig" in lines[0] and "0.70" in lines[0]
+    assert lines[1].count("█") == 10  # static == reference -> full bar
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ConfigurationError):
+        bar_chart({})
+    with pytest.raises(ConfigurationError):
+        bar_chart({"a": 1.0}, width=2)
+
+
+def test_series_table_alignment():
+    table = series_table({"qos": [99.0, 98.5], "power": [60.0, 61.5]}, index=[100, 200])
+    lines = table.splitlines()
+    assert len(lines) == 3
+    assert "qos" in lines[0] and "power" in lines[0]
+    assert "100" in lines[1]
+
+
+def test_series_table_validation():
+    with pytest.raises(ConfigurationError):
+        series_table({})
+    with pytest.raises(ConfigurationError):
+        series_table({"a": [1.0], "b": [1.0, 2.0]})
+    with pytest.raises(ConfigurationError):
+        series_table({"a": [1.0]}, index=[1, 2])

@@ -1,0 +1,116 @@
+"""Unit tests for the action space and Equation-1 reward."""
+
+import pytest
+
+from repro.core.actions import ActionSpace, Allocation
+from repro.core.reward import RewardParams, compute_reward
+from repro.errors import ConfigurationError
+
+
+def test_action_space_branch_sizes(spec):
+    space = ActionSpace(spec)
+    assert space.branch_sizes == [18, 9]
+
+
+def test_decode_encode_roundtrip(spec):
+    space = ActionSpace(spec)
+    for cores_action in (0, 7, 17):
+        for freq_action in (0, 4, 8):
+            allocation = space.decode([cores_action, freq_action])
+            assert allocation.num_cores == cores_action + 1
+            assert allocation.freq_index == freq_action
+            assert space.encode(allocation) == [cores_action, freq_action]
+
+
+def test_decode_validation(spec):
+    space = ActionSpace(spec)
+    with pytest.raises(ConfigurationError):
+        space.decode([18, 0])
+    with pytest.raises(ConfigurationError):
+        space.decode([0, 9])
+    with pytest.raises(ConfigurationError):
+        space.decode([0])
+
+
+def test_frequency_lookup(spec):
+    space = ActionSpace(spec)
+    assert space.frequency_ghz(Allocation(4, 0)) == pytest.approx(1.2)
+    assert space.frequency_ghz(Allocation(4, 8)) == pytest.approx(2.0)
+
+
+def test_max_cores_restriction(spec):
+    space = ActionSpace(spec, max_cores=10)
+    assert space.branch_sizes == [10, 9]
+    with pytest.raises(ConfigurationError):
+        space.encode(Allocation(11, 0))
+
+
+def test_allocation_validation():
+    with pytest.raises(ConfigurationError):
+        Allocation(0, 0)
+    with pytest.raises(ConfigurationError):
+        Allocation(1, -1)
+
+
+# --------------------------------------------------------------------- #
+# Equation 1
+# --------------------------------------------------------------------- #
+def test_reward_qos_met_combines_terms():
+    # qos_rew = 0.5, power_rew = 100/25 = 4, theta = 0.5 -> 0.5 + 2.0
+    reward = compute_reward(5.0, 10.0, 100.0, 25.0)
+    assert reward == pytest.approx(2.5)
+
+
+def test_reward_prefers_cheaper_allocation():
+    expensive = compute_reward(5.0, 10.0, 100.0, 50.0)
+    cheap = compute_reward(5.0, 10.0, 100.0, 10.0)
+    assert cheap > expensive
+
+
+def test_reward_encourages_just_meeting_qos():
+    """Closer to target (still met) scores higher: QoS_rew rises."""
+    tight = compute_reward(9.0, 10.0, 100.0, 25.0)
+    slack = compute_reward(1.0, 10.0, 100.0, 25.0)
+    assert tight > slack
+
+
+def test_reward_violation_polynomial_penalty():
+    # tardiness 2 -> -(2^3) = -8
+    assert compute_reward(20.0, 10.0, 100.0, 25.0) == pytest.approx(-8.0)
+
+
+def test_reward_violation_capped():
+    # tardiness 10 -> -(1000) capped at -100
+    assert compute_reward(100.0, 10.0, 100.0, 25.0) == pytest.approx(-100.0)
+
+
+def test_reward_boundary_is_met():
+    reward = compute_reward(10.0, 10.0, 100.0, 100.0)
+    assert reward == pytest.approx(1.0 + 0.5)
+
+
+def test_mild_violation_is_mild():
+    """Just over the target gives ~-1, not the cap — boundary-hugging is
+    recoverable, deep violations are catastrophic."""
+    mild = compute_reward(10.5, 10.0, 100.0, 25.0)
+    assert -2.0 < mild < 0.0
+
+
+def test_reward_params_validation():
+    with pytest.raises(ConfigurationError):
+        RewardParams(theta=-1.0)
+    with pytest.raises(ConfigurationError):
+        RewardParams(phi=0.0)
+    with pytest.raises(ConfigurationError):
+        RewardParams(cap=1.0)
+    with pytest.raises(ConfigurationError):
+        compute_reward(1.0, 0.0, 100.0, 10.0)
+    with pytest.raises(ConfigurationError):
+        compute_reward(1.0, 10.0, 0.0, 10.0)
+
+
+def test_paper_default_params():
+    params = RewardParams()
+    assert params.theta == 0.5
+    assert params.phi == 3.0
+    assert params.cap == -100.0

@@ -1,0 +1,103 @@
+"""Unit tests for the mapper module (placement, locality, arbitration)."""
+
+import pytest
+
+from repro.core.actions import Allocation
+from repro.core.mapper import Mapper
+from repro.errors import AllocationError
+from repro.server.machine import Machine
+from repro.server.spec import ServerSpec
+
+
+def _local(assignment, spec, socket=1):
+    """Translate global core ids back to socket-local indices."""
+    base = socket * spec.cores_per_socket
+    return [c - base for c in assignment.cores]
+
+
+def test_paper_locality_example(spec):
+    """Two services get every-other cores from opposite ends (Section III-B3)."""
+    mapper = Mapper(spec, socket_index=1)
+    result = mapper.map(
+        {"sv-1": Allocation(3, 2), "sv-2": Allocation(4, 4)}
+    )
+    assert _local(result["sv-1"], spec) == [0, 2, 4]
+    # from the far end, every other core (the paper's 16-core example gives
+    # 10, 12, 14, 16; on our 18-core socket the even cores from the top are
+    # 16, 14, 12, 10)
+    assert _local(result["sv-2"], spec) == [10, 12, 14, 16]
+
+
+def test_disjoint_when_fits(spec):
+    mapper = Mapper(spec, socket_index=1)
+    result = mapper.map({"a": Allocation(9, 0), "b": Allocation(9, 8)})
+    cores_a = set(result["a"].cores)
+    cores_b = set(result["b"].cores)
+    assert not cores_a & cores_b
+    assert len(cores_a) == 9 and len(cores_b) == 9
+
+
+def test_freq_indices_preserved(spec):
+    mapper = Mapper(spec, socket_index=1)
+    result = mapper.map({"a": Allocation(2, 3), "b": Allocation(2, 7)})
+    assert result["a"].freq_index == 3
+    assert result["b"].freq_index == 7
+
+
+def test_overlap_when_oversubscribed(spec):
+    """Paper's arbitration example: requests exceeding the socket overlap in
+    the middle and the machine timeshares them at the max DVFS."""
+    mapper = Mapper(spec, socket_index=1)
+    result = mapper.map({"a": Allocation(12, 2), "b": Allocation(10, 6)})
+    cores_a = set(result["a"].cores)
+    cores_b = set(result["b"].cores)
+    overlap = cores_a & cores_b
+    assert len(overlap) == 12 + 10 - 18
+    machine = Machine(spec)
+    machine.apply(result)
+    for core_id in overlap:
+        assert machine.cores[core_id].freq_index == 6  # max of the two requests
+    only_a = cores_a - overlap
+    for core_id in only_a:
+        assert machine.cores[core_id].freq_index == 2
+
+
+def test_three_service_overlap_covers_requests(spec):
+    mapper = Mapper(spec, socket_index=1)
+    result = mapper.map(
+        {"a": Allocation(8, 0), "b": Allocation(8, 0), "c": Allocation(8, 0)}
+    )
+    for name in ("a", "b", "c"):
+        assert len(result[name].cores) == 8
+
+
+def test_all_cores_on_requested_socket(spec):
+    mapper = Mapper(spec, socket_index=0)
+    result = mapper.map({"a": Allocation(18, 0)})
+    assert set(result["a"].cores) == set(range(18))
+
+
+def test_full_socket_helper(spec):
+    mapper = Mapper(spec, socket_index=1)
+    result = mapper.full_socket(["a", "b"], freq_index=8)
+    assert set(result["a"].cores) == set(spec.socket_core_ids(1))
+    assert result["a"].cores == result["b"].cores
+
+
+def test_validation(spec):
+    mapper = Mapper(spec, socket_index=1)
+    with pytest.raises(AllocationError):
+        mapper.map({})
+    with pytest.raises(AllocationError):
+        mapper.map({"a": Allocation(19, 0)})
+    with pytest.raises(AllocationError):
+        mapper.map({"a": Allocation(1, 99)})
+
+
+def test_single_service_gets_stride_two_until_exhausted(spec):
+    mapper = Mapper(spec, socket_index=1)
+    result = mapper.map({"a": Allocation(10, 0)})
+    local = set(_local(result["a"], spec))
+    # 9 even cores exist; the 10th pick falls back to an odd core.
+    assert {0, 2, 4, 6, 8, 10, 12, 14, 16} <= local
+    assert len([c for c in local if c % 2 == 1]) == 1

@@ -1,0 +1,74 @@
+"""Unit tests for the Equation-2 per-service power model."""
+
+import numpy as np
+import pytest
+
+from repro.core.power_model import PowerSample, ServicePowerModel, fit_power_model
+from repro.errors import ConfigurationError, NotFittedError
+
+
+def _samples(rng, n=60, kappa=0.2, sigma=1.5, omega=1.8, noise=0.3):
+    samples = []
+    for _ in range(n):
+        load = rng.uniform(10, 90)
+        cores = int(rng.integers(2, 18))
+        dvfs = rng.choice([1.2, 1.4, 1.6, 1.8, 2.0])
+        power = kappa * load + sigma * cores + omega ** 2 * dvfs
+        power += rng.normal(0, noise)
+        samples.append(PowerSample(load, cores, dvfs, max(power, 0.1)))
+    return samples
+
+
+def test_random_search_recovers_coefficients(rng):
+    samples = _samples(rng)
+    model = ServicePowerModel().fit_random_search(samples, rng, n_candidates=3000)
+    assert model.kappa == pytest.approx(0.2, abs=0.1)
+    assert model.sigma == pytest.approx(1.5, abs=0.4)
+    assert model.omega == pytest.approx(1.8, abs=0.4)
+    assert model.r2 > 0.95
+
+
+def test_least_squares_fits_better_or_equal(rng):
+    samples = _samples(rng)
+    random_model = ServicePowerModel().fit_random_search(samples, rng, n_candidates=2000)
+    exact_model = ServicePowerModel().fit_least_squares(samples)
+    assert exact_model.r2 >= random_model.r2 - 0.02
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(NotFittedError):
+        ServicePowerModel().predict(50.0, 4, 1.6)
+
+
+def test_predict_floors_at_small_positive(rng):
+    model = ServicePowerModel()
+    model.kappa, model.sigma, model.omega = 0.0, 0.0, 0.0
+    model.r2 = 1.0
+    assert model.predict(0.0, 1, 1.2) == pytest.approx(0.5)
+
+
+def test_paae_reasonable_on_training_data(rng):
+    samples = _samples(rng, noise=1.0)
+    model = ServicePowerModel().fit_random_search(samples, rng, n_candidates=3000)
+    paae = model.paae_pct(samples)
+    # The paper reports mean PAAE 5.46% (7% max) for its first-order model.
+    assert paae < 12.0
+
+
+def test_needs_at_least_five_samples(rng):
+    with pytest.raises(ConfigurationError):
+        ServicePowerModel().fit_least_squares(_samples(rng, n=3))
+
+
+def test_fit_power_model_dispatcher(rng):
+    samples = _samples(rng)
+    model = fit_power_model(samples, rng, method="least_squares")
+    assert model.fitted
+    with pytest.raises(ConfigurationError):
+        fit_power_model(samples, rng, method="bogus")
+
+
+def test_cv_mse_recorded_for_random_search(rng):
+    samples = _samples(rng)
+    model = ServicePowerModel().fit_random_search(samples, rng, n_candidates=500)
+    assert model.cv_mse is not None and model.cv_mse >= 0

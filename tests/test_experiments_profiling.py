@@ -1,0 +1,63 @@
+"""Unit tests for the power-profiling pipeline (shared by Twig and Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.power_model import ServicePowerModel
+from repro.experiments.profiling import (
+    collect_power_samples,
+    default_power_models,
+    fit_service_power_model,
+)
+from repro.server.spec import ServerSpec
+from repro.services.profiles import get_profile
+
+
+def test_collect_covers_grid(rng):
+    spec = ServerSpec()
+    samples = collect_power_samples(
+        get_profile("masstree"), spec, rng,
+        loads=(0.2, 0.5), core_counts=(6, 12, 18), dvfs_indices=(0, 8),
+        seconds_per_point=2,
+    )
+    # overloaded grid points are skipped, so <= full grid
+    assert 0 < len(samples) <= 2 * 3 * 2
+    loads = {s.load_pct for s in samples}
+    assert loads <= {20.0, 50.0}
+    assert all(s.dynamic_power_w > 0 for s in samples)
+
+
+def test_dynamic_power_grows_with_cores_and_dvfs(rng):
+    spec = ServerSpec()
+    samples = collect_power_samples(
+        get_profile("moses"), spec, rng,
+        loads=(0.5,), core_counts=(6, 18), dvfs_indices=(0, 8),
+        seconds_per_point=3,
+    )
+    by_key = {(s.num_cores, s.dvfs_ghz): s.dynamic_power_w for s in samples}
+    if (18, 2.0) in by_key and (6, 2.0) in by_key:
+        assert by_key[(18, 2.0)] > by_key[(6, 2.0)]
+    if (18, 2.0) in by_key and (18, 1.2) in by_key:
+        assert by_key[(18, 2.0)] > by_key[(18, 1.2)]
+
+
+def test_fit_service_power_model_returns_fitted(rng):
+    model = fit_service_power_model(
+        get_profile("masstree"), ServerSpec(), rng,
+        loads=(0.2, 0.5), core_counts=(6, 12, 18), dvfs_indices=(0, 4, 8),
+        seconds_per_point=2, n_candidates=500,
+    )
+    assert isinstance(model, ServicePowerModel)
+    assert model.fitted
+    assert model.predict(50.0, 9, 1.6) > 0
+
+
+def test_default_power_models_keys(rng):
+    profiles = [get_profile("masstree"), get_profile("xapian")]
+    models = default_power_models(
+        profiles, ServerSpec(), rng,
+        loads=(0.3, 0.6), core_counts=(6, 12, 18), dvfs_indices=(0, 8),
+        seconds_per_point=2, n_candidates=300,
+    )
+    assert set(models) == {"masstree", "xapian"}
+    assert all(m.fitted for m in models.values())

@@ -1,0 +1,89 @@
+"""Unit tests for the experiment runner and trace summaries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StaticManager
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_manager
+from repro.server.spec import ServerSpec
+from repro.services.loadgen import ConstantLoad
+from repro.services.profiles import get_profile
+from repro.sim.environment import ColocationEnvironment, EnvironmentConfig
+
+
+def _env(seed=3, fraction=0.4):
+    spec = ServerSpec()
+    profile = get_profile("masstree")
+    return ColocationEnvironment(
+        EnvironmentConfig(spec=spec),
+        [profile],
+        {"masstree": ConstantLoad(profile.max_load_rps, fraction, rng=np.random.default_rng(seed))},
+        np.random.default_rng(seed),
+    )
+
+
+def test_trace_lengths_match_steps():
+    trace = run_manager(StaticManager(["masstree"]), _env(), 25)
+    assert trace.steps() == 25
+    assert len(trace.services["masstree"].p99_ms) == 25
+    assert len(trace.true_power_w) == 25
+
+
+def test_window_summaries():
+    trace = run_manager(StaticManager(["masstree"]), _env(), 50)
+    full = trace.qos_guarantee("masstree")
+    windowed = trace.qos_guarantee("masstree", 10)
+    assert 0.0 <= windowed <= 100.0
+    assert 0.0 <= full <= 100.0
+    assert trace.energy_j(10) < trace.energy_j()
+    assert trace.mean_power_w(10) > 0
+
+
+def test_core_histogram_sums_to_one():
+    trace = run_manager(StaticManager(["masstree"]), _env(), 20)
+    hist = trace.core_histogram("masstree", 18)
+    assert hist.sum() == pytest.approx(1.0)
+    assert hist[18] == pytest.approx(1.0)  # static always uses all 18
+
+
+def test_tardiness_shape():
+    trace = run_manager(StaticManager(["masstree"]), _env(), 20)
+    ratios = trace.tardiness("masstree", 10)
+    assert ratios.shape == (10,)
+    assert np.all(ratios > 0)
+
+
+def test_on_step_callback_runs_and_can_replace_assignments():
+    calls = []
+
+    def on_step(t, result):
+        calls.append(t)
+        return None
+
+    run_manager(StaticManager(["masstree"]), _env(), 5, on_step=on_step)
+    assert calls == [0, 1, 2, 3, 4]
+
+
+def test_steps_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        run_manager(StaticManager(["masstree"]), _env(), 0)
+
+
+def test_migrations_recorded():
+    trace = run_manager(StaticManager(["masstree"]), _env(), 5)
+    assert trace.migrations["masstree"] == 18
+
+
+def test_to_csv_roundtrip(tmp_path):
+    import csv
+
+    trace = run_manager(StaticManager(["masstree"]), _env(), 10)
+    path = tmp_path / "trace.csv"
+    trace.to_csv(path)
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0][0] == "step"
+    assert "masstree.p99_ms" in rows[0]
+    assert len(rows) == 11  # header + 10 steps
+    assert float(rows[1][1]) > 0  # p99 positive

@@ -1,0 +1,57 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.energy import energy_summary, normalized_energy
+from repro.metrics.qos import qos_guarantee_pct, tardiness, violation_intensity
+
+
+def test_qos_guarantee_counts_met_samples():
+    assert qos_guarantee_pct([1.0, 2.0, 3.0, 4.0], 2.5) == pytest.approx(50.0)
+    assert qos_guarantee_pct([1.0], 2.0) == 100.0
+    assert qos_guarantee_pct([3.0], 2.0) == 0.0
+
+
+def test_qos_guarantee_boundary_counts_as_met():
+    assert qos_guarantee_pct([2.0], 2.0) == 100.0
+
+
+def test_qos_guarantee_validation():
+    with pytest.raises(ConfigurationError):
+        qos_guarantee_pct([1.0], 0.0)
+    with pytest.raises(ConfigurationError):
+        qos_guarantee_pct([], 1.0)
+
+
+def test_tardiness_ratios():
+    ratios = tardiness([1.0, 2.0, 4.0], 2.0)
+    assert np.allclose(ratios, [0.5, 1.0, 2.0])
+
+
+def test_violation_intensity_only_over_violations():
+    assert violation_intensity([1.0, 3.0, 5.0], 2.0) == pytest.approx((1.5 + 2.5) / 2)
+    assert violation_intensity([1.0, 2.0], 2.0) == 0.0
+
+
+def test_energy_summary():
+    summary = energy_summary([100.0, 50.0], interval_s=2.0)
+    assert summary["energy_j"] == pytest.approx(300.0)
+    assert summary["mean_power_w"] == pytest.approx(75.0)
+    assert summary["peak_power_w"] == pytest.approx(100.0)
+
+
+def test_energy_summary_validation():
+    with pytest.raises(ConfigurationError):
+        energy_summary([], 1.0)
+    with pytest.raises(ConfigurationError):
+        energy_summary([1.0], 0.0)
+
+
+def test_normalized_energy():
+    assert normalized_energy(50.0, 100.0) == pytest.approx(0.5)
+    with pytest.raises(ConfigurationError):
+        normalized_energy(50.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        normalized_energy(-1.0, 10.0)

@@ -1,0 +1,119 @@
+"""Unit tests for repro.nn.layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers import Dense, Dropout, ReLU, Sequential
+from repro.nn.network import numerical_gradient
+
+
+def test_dense_forward_shape(rng):
+    layer = Dense(4, 3, rng)
+    out = layer.forward(np.ones((5, 4)))
+    assert out.shape == (5, 3)
+
+
+def test_dense_rejects_wrong_input_dim(rng):
+    layer = Dense(4, 3, rng)
+    with pytest.raises(ShapeError):
+        layer.forward(np.ones((5, 7)))
+
+
+def test_dense_rejects_nonpositive_sizes(rng):
+    with pytest.raises(ConfigurationError):
+        Dense(0, 3, rng)
+
+
+def test_dense_backward_before_forward_raises(rng):
+    layer = Dense(2, 2, rng)
+    with pytest.raises(ShapeError):
+        layer.backward(np.ones((1, 2)))
+
+
+def test_dense_gradient_matches_numerical(rng):
+    layer = Dense(3, 2, rng)
+    x = rng.normal(size=(4, 3))
+    target = rng.normal(size=(4, 2))
+
+    def loss():
+        out = layer.forward(x)
+        return float(np.sum((out - target) ** 2))
+
+    layer.forward(x)
+    grad_out = 2.0 * (layer.forward(x) - target)
+    layer.weight.zero_grad()
+    layer.bias.zero_grad()
+    layer.backward(grad_out)
+    numeric = numerical_gradient(loss, layer.weight)
+    assert np.allclose(layer.weight.grad, numeric, atol=1e-5)
+    numeric_b = numerical_gradient(loss, layer.bias)
+    assert np.allclose(layer.bias.grad, numeric_b, atol=1e-5)
+
+
+def test_dense_input_gradient(rng):
+    layer = Dense(3, 2, rng)
+    x = rng.normal(size=(4, 3))
+    layer.forward(x)
+    grad_in = layer.backward(np.ones((4, 2)))
+    assert grad_in.shape == x.shape
+    expected = np.ones((4, 2)) @ layer.weight.value.T
+    assert np.allclose(grad_in, expected)
+
+
+def test_relu_masks_negatives():
+    relu = ReLU()
+    x = np.array([[-1.0, 0.0, 2.0]])
+    out = relu.forward(x)
+    assert np.allclose(out, [[0.0, 0.0, 2.0]])
+    grad = relu.backward(np.ones_like(x))
+    assert np.allclose(grad, [[0.0, 0.0, 1.0]])
+
+
+def test_dropout_identity_when_not_training(rng):
+    drop = Dropout(0.5, rng)
+    x = rng.normal(size=(10, 10))
+    assert np.array_equal(drop.forward(x, training=False), x)
+
+
+def test_dropout_preserves_expectation(rng):
+    drop = Dropout(0.5, rng)
+    x = np.ones((2000, 50))
+    out = drop.forward(x, training=True)
+    assert abs(out.mean() - 1.0) < 0.05
+    # dropped entries are exactly zero, kept entries are scaled by 1/keep
+    assert set(np.unique(out.round(6))) <= {0.0, 2.0}
+
+
+def test_dropout_rate_validation(rng):
+    with pytest.raises(ConfigurationError):
+        Dropout(1.0, rng)
+    with pytest.raises(ConfigurationError):
+        Dropout(-0.1, rng)
+
+
+def test_dropout_backward_uses_same_mask(rng):
+    drop = Dropout(0.5, rng)
+    x = np.ones((100, 10))
+    out = drop.forward(x, training=True)
+    grad = drop.backward(np.ones_like(x))
+    # gradient flows only where the forward pass kept units
+    assert np.array_equal(grad != 0, out != 0)
+
+
+def test_sequential_composes(rng):
+    net = Sequential([Dense(3, 4, rng), ReLU(), Dense(4, 2, rng)])
+    out = net.forward(np.ones((2, 3)))
+    assert out.shape == (2, 2)
+    grad = net.backward(np.ones((2, 2)))
+    assert grad.shape == (2, 3)
+    assert len(net.parameters()) == 4
+
+
+def test_parameter_zero_grad(rng):
+    layer = Dense(2, 2, rng)
+    layer.forward(np.ones((1, 2)))
+    layer.backward(np.ones((1, 2)))
+    assert np.any(layer.weight.grad != 0)
+    layer.weight.zero_grad()
+    assert np.all(layer.weight.grad == 0)

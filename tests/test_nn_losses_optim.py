@@ -1,0 +1,113 @@
+"""Unit tests for repro.nn.losses and repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers import Dense
+from repro.nn.losses import huber_loss, mse_loss
+from repro.nn.optim import SGD, Adam
+
+
+def test_mse_zero_at_perfect_prediction():
+    pred = np.ones((3, 2))
+    loss, grad = mse_loss(pred, pred.copy())
+    assert loss == 0.0
+    assert np.all(grad == 0.0)
+
+
+def test_mse_value_and_gradient():
+    pred = np.array([[2.0]])
+    target = np.array([[0.0]])
+    loss, grad = mse_loss(pred, target)
+    assert loss == pytest.approx(4.0)
+    assert grad[0, 0] == pytest.approx(4.0)  # 2 * diff / n
+
+
+def test_mse_shape_mismatch():
+    with pytest.raises(ShapeError):
+        mse_loss(np.ones((2, 2)), np.ones((3, 2)))
+
+
+def test_mse_weights_scale_loss():
+    pred = np.array([[1.0], [1.0]])
+    target = np.array([[0.0], [0.0]])
+    _, grad_unweighted = mse_loss(pred, target)
+    _, grad_weighted = mse_loss(pred, target, weight=np.array([2.0, 0.0]))
+    assert grad_weighted[0, 0] == pytest.approx(2.0 * grad_unweighted[0, 0])
+    assert grad_weighted[1, 0] == 0.0
+
+
+def test_huber_quadratic_inside_delta():
+    pred = np.array([[0.5]])
+    target = np.array([[0.0]])
+    loss, grad = huber_loss(pred, target, delta=1.0)
+    assert loss == pytest.approx(0.125)
+    assert grad[0, 0] == pytest.approx(0.5)
+
+
+def test_huber_linear_outside_delta():
+    pred = np.array([[5.0]])
+    target = np.array([[0.0]])
+    loss, grad = huber_loss(pred, target, delta=1.0)
+    assert loss == pytest.approx(4.5)  # delta*(|d| - delta/2)
+    assert grad[0, 0] == pytest.approx(1.0)
+
+
+def test_sgd_descends(rng):
+    layer = Dense(2, 1, rng)
+    opt = SGD(layer.parameters(), learning_rate=0.05)
+    x = rng.normal(size=(64, 2))
+    y = x @ np.array([[1.0], [-2.0]]) + 0.5
+    losses = []
+    for _ in range(200):
+        pred = layer.forward(x)
+        loss, grad = mse_loss(pred, y)
+        losses.append(loss)
+        layer.backward(grad)
+        opt.step()
+        opt.zero_grad()
+    assert losses[-1] < 0.01 * losses[0]
+
+
+def test_adam_descends_faster_than_sgd_on_scaled_problem(rng):
+    def train(opt_cls, **kwargs):
+        gen = np.random.default_rng(0)
+        layer = Dense(2, 1, gen)
+        opt = opt_cls(layer.parameters(), **kwargs)
+        x = gen.normal(size=(64, 2)) * np.array([100.0, 0.01])
+        y = x @ np.array([[0.01], [100.0]])
+        for _ in range(100):
+            pred = layer.forward(x)
+            loss, grad = mse_loss(pred, y)
+            layer.backward(grad)
+            opt.step()
+            opt.zero_grad()
+        return loss
+
+    assert train(Adam, learning_rate=0.05) < train(SGD, learning_rate=1e-5)
+
+
+def test_gradient_clipping_bounds_norm(rng):
+    layer = Dense(2, 2, rng)
+    opt = SGD(layer.parameters(), learning_rate=0.1, max_grad_norm=1.0)
+    layer.weight.grad[...] = 100.0
+    layer.bias.grad[...] = 100.0
+    opt._clip_gradients()
+    total = np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in opt.parameters))
+    assert total == pytest.approx(1.0, rel=1e-6)
+
+
+def test_optimizer_validation(rng):
+    layer = Dense(2, 2, rng)
+    with pytest.raises(ConfigurationError):
+        SGD(layer.parameters(), learning_rate=-1.0)
+    with pytest.raises(ConfigurationError):
+        Adam(layer.parameters(), beta1=1.0)
+    with pytest.raises(ConfigurationError):
+        SGD([], learning_rate=0.1)
+
+
+def test_adam_default_learning_rate_is_papers(rng):
+    layer = Dense(2, 2, rng)
+    assert Adam(layer.parameters()).learning_rate == pytest.approx(0.0025)

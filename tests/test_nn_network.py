@@ -1,0 +1,93 @@
+"""Unit tests for repro.nn.network (MLP, save/load, transfer reset)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import MLP, Adam, mse_loss
+from repro.nn.network import (
+    copy_parameters,
+    load_weights,
+    parameter_bytes,
+    save_weights,
+)
+
+
+def test_mlp_needs_two_sizes(rng):
+    with pytest.raises(ConfigurationError):
+        MLP([4], rng)
+
+
+def test_mlp_learns_nonlinear_function(rng):
+    net = MLP([2, 32, 32, 1], rng)
+    opt = Adam(net.parameters(), learning_rate=5e-3)
+    x = rng.uniform(-1, 1, size=(256, 2))
+    y = (x[:, :1] * x[:, 1:]) + 0.3
+    first = None
+    for _ in range(400):
+        pred = net.forward(x, training=True)
+        loss, grad = mse_loss(pred, y)
+        if first is None:
+            first = loss
+        net.backward(grad)
+        opt.step()
+        opt.zero_grad()
+    assert loss < 0.05 * first
+
+
+def test_mlp_dropout_only_in_training(rng):
+    net = MLP([4, 16, 1], rng, dropout=0.5)
+    x = rng.normal(size=(8, 4))
+    a = net.forward(x, training=False)
+    b = net.forward(x, training=False)
+    assert np.array_equal(a, b)
+
+
+def test_reinitialize_output_changes_only_last_layer(rng):
+    net = MLP([4, 8, 2], rng)
+    hidden_before = net.layers[0].weight.value.copy()
+    out_before = net.output_layer.weight.value.copy()
+    net.reinitialize_output(rng)
+    assert np.array_equal(net.layers[0].weight.value, hidden_before)
+    assert not np.array_equal(net.output_layer.weight.value, out_before)
+    assert np.all(net.output_layer.bias.value == 0)
+
+
+def test_save_load_roundtrip(tmp_path, rng):
+    net = MLP([3, 8, 2], rng)
+    other = MLP([3, 8, 2], np.random.default_rng(99))
+    path = tmp_path / "weights.npz"
+    save_weights(net.parameters(), path)
+    load_weights(other.parameters(), path)
+    x = rng.normal(size=(5, 3))
+    assert np.allclose(net.forward(x), other.forward(x))
+
+
+def test_load_rejects_wrong_architecture(tmp_path, rng):
+    net = MLP([3, 8, 2], rng)
+    path = tmp_path / "weights.npz"
+    save_weights(net.parameters(), path)
+    wrong = MLP([3, 9, 2], rng)
+    with pytest.raises(ShapeError):
+        load_weights(wrong.parameters(), path)
+
+
+def test_copy_parameters(rng):
+    a = MLP([3, 4, 1], rng)
+    b = MLP([3, 4, 1], np.random.default_rng(5))
+    copy_parameters(a.parameters(), b.parameters())
+    x = rng.normal(size=(2, 3))
+    assert np.allclose(a.forward(x), b.forward(x))
+
+
+def test_copy_parameters_shape_mismatch(rng):
+    a = MLP([3, 4, 1], rng)
+    b = MLP([3, 5, 1], rng)
+    with pytest.raises(ShapeError):
+        copy_parameters(a.parameters(), b.parameters())
+
+
+def test_parameter_bytes(rng):
+    net = MLP([3, 4, 1], rng)
+    # (3*4 + 4) + (4*1 + 1) float64 values
+    assert parameter_bytes(net.parameters()) == (12 + 4 + 4 + 1) * 8

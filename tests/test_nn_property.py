@@ -1,0 +1,73 @@
+"""Property-based tests for the neural-network framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import MLP, mse_loss
+from repro.nn.losses import huber_loss
+from repro.nn.network import numerical_gradient
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=6), min_size=2, max_size=4),
+    batch=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_mlp_gradient_always_matches_numerical(sizes, batch, seed):
+    """For random architectures, inputs, and targets, analytic backprop
+    matches central differences on sampled weight entries."""
+    rng = np.random.default_rng(seed)
+    net = MLP(sizes, rng)
+    x = rng.normal(size=(batch, sizes[0]))
+    target = rng.normal(size=(batch, sizes[-1]))
+
+    def loss():
+        return mse_loss(net.forward(x), target)[0]
+
+    for p in net.parameters():
+        p.zero_grad()
+    _, grad = mse_loss(net.forward(x), target)
+    net.backward(grad)
+    param = net.parameters()[0]
+    numeric = numerical_gradient(loss, param, sample=3, rng=rng)
+    mask = ~np.isnan(numeric)
+    assert np.allclose(param.grad[mask], numeric[mask], atol=1e-4)
+
+
+@settings(max_examples=40)
+@given(
+    pred=st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=20),
+    target=st.floats(min_value=-50, max_value=50),
+)
+def test_losses_nonnegative_and_zero_iff_equal(pred, target):
+    p = np.array(pred).reshape(-1, 1)
+    t = np.full_like(p, target)
+    for fn in (mse_loss, huber_loss):
+        loss, grad = fn(p, t)
+        assert loss >= 0.0
+        if np.allclose(p, t):
+            assert loss == pytest.approx(0.0)
+            assert np.allclose(grad, 0.0)
+
+
+@settings(max_examples=30)
+@given(
+    value=st.floats(min_value=-100, max_value=100),
+    delta=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_huber_gradient_bounded_by_delta(value, delta):
+    pred = np.array([[value]])
+    target = np.array([[0.0]])
+    _, grad = huber_loss(pred, target, delta=delta)
+    assert abs(grad[0, 0]) <= delta + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_mlp_deterministic_inference(seed):
+    rng = np.random.default_rng(seed)
+    net = MLP([3, 8, 2], rng, dropout=0.5)
+    x = rng.normal(size=(4, 3))
+    assert np.array_equal(net.forward(x, training=False), net.forward(x, training=False))

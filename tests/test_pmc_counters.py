@@ -1,0 +1,46 @@
+"""Unit tests for the counter catalogue (Table I)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pmc.counters import COUNTER_NAMES, PAPER_IMPORTANCE, CounterCatalogue
+
+
+def test_eleven_counters_in_paper_order():
+    assert len(COUNTER_NAMES) == 11
+    assert COUNTER_NAMES[0] == "UNHALTED_CORE_CYCLES"
+    assert COUNTER_NAMES[8] == "LLC_MISSES"
+
+
+def test_paper_importance_is_a_permutation():
+    assert sorted(PAPER_IMPORTANCE.values()) == list(range(1, 12))
+    assert PAPER_IMPORTANCE["PERF_COUNT_HW_BRANCH_MISSES"] == 1
+    assert PAPER_IMPORTANCE["LLC_MISSES"] == 2
+
+
+def test_max_values_cover_all_counters(spec):
+    catalogue = CounterCatalogue(spec)
+    maxima = catalogue.max_values()
+    assert set(maxima) == set(COUNTER_NAMES)
+    assert all(v > 0 for v in maxima.values())
+
+
+def test_max_values_scale_with_interval(spec):
+    catalogue = CounterCatalogue(spec)
+    one = catalogue.max_values(1.0)
+    two = catalogue.max_values(2.0)
+    for name in COUNTER_NAMES:
+        assert two[name] == pytest.approx(2.0 * one[name])
+
+
+def test_max_cycles_formula(spec):
+    catalogue = CounterCatalogue(spec, cores=18)
+    maxima = catalogue.max_values(1.0)
+    assert maxima["UNHALTED_CORE_CYCLES"] == pytest.approx(18 * 2.0e9)
+
+
+def test_scope_validation(spec):
+    with pytest.raises(ConfigurationError):
+        CounterCatalogue(spec, cores=100)
+    with pytest.raises(ConfigurationError):
+        CounterCatalogue(spec).max_values(0.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the system monitor (eta smoothing + normalisation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.pmc.monitor import SystemMonitor
+
+
+def _monitor(eta=5):
+    return SystemMonitor(
+        max_values={"A": 100.0, "B": 200.0},
+        counters=("A", "B"),
+        eta=eta,
+    )
+
+
+def test_single_observation_normalised():
+    monitor = _monitor()
+    state = monitor.observe("svc", {"A": 50.0, "B": 100.0})
+    assert state == pytest.approx([0.5, 0.5])
+
+
+def test_values_clipped_to_unit_interval():
+    monitor = _monitor()
+    state = monitor.observe("svc", {"A": 1e9, "B": -5.0})
+    assert state[0] == 1.0
+    assert state[1] == 0.0
+
+
+def test_eta_smoothing_weights_recent_more():
+    monitor = _monitor(eta=2)
+    monitor.observe("svc", {"A": 0.0, "B": 0.0})
+    state = monitor.observe("svc", {"A": 90.0, "B": 0.0})
+    # weights 1:2 -> (0*1 + 0.9*2)/3 = 0.6
+    assert state[0] == pytest.approx(0.6)
+
+
+def test_history_bounded_by_eta():
+    monitor = _monitor(eta=3)
+    for value in (10.0, 20.0, 30.0, 40.0):
+        monitor.observe("svc", {"A": value, "B": 0.0})
+    # only 20, 30, 40 remain with weights 1,2,3
+    expected = (0.2 * 1 + 0.3 * 2 + 0.4 * 3) / 6
+    assert monitor.state("svc")[0] == pytest.approx(expected)
+
+
+def test_per_service_isolation():
+    monitor = _monitor()
+    monitor.observe("a", {"A": 100.0, "B": 0.0})
+    monitor.observe("b", {"A": 0.0, "B": 200.0})
+    assert monitor.state("a")[0] == pytest.approx(1.0)
+    assert monitor.state("b")[0] == pytest.approx(0.0)
+
+
+def test_reset_single_service():
+    monitor = _monitor()
+    monitor.observe("a", {"A": 100.0, "B": 0.0})
+    monitor.observe("b", {"A": 100.0, "B": 0.0})
+    monitor.reset("a")
+    assert np.all(monitor.state("a") == 0.0)
+    assert monitor.state("b")[0] == pytest.approx(1.0)
+
+
+def test_state_before_any_observation_is_zero():
+    monitor = _monitor()
+    assert np.all(monitor.state("ghost") == 0.0)
+
+
+def test_missing_counter_rejected():
+    monitor = _monitor()
+    with pytest.raises(ShapeError):
+        monitor.observe("svc", {"A": 1.0})
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        _monitor(eta=0)
+    with pytest.raises(ConfigurationError):
+        SystemMonitor(max_values={"A": 0.0}, counters=("A",))
+    with pytest.raises(ConfigurationError):
+        SystemMonitor(max_values={}, counters=("A",))
+
+
+def test_paper_default_eta_is_five(spec):
+    from repro.pmc.counters import CounterCatalogue
+
+    monitor = SystemMonitor(CounterCatalogue(spec).max_values())
+    assert monitor.eta == 5
+    assert monitor.state_dim == 11

@@ -1,0 +1,87 @@
+"""Unit tests for the PCA/correlation counter-selection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.pmc.selection import pearson_matrix, select_counters
+
+
+def _synthetic_samples(rng, n=500):
+    """Three informative signals, one redundant copy, one pure noise."""
+    load = rng.uniform(0, 1, n)
+    latency = 1.0 + 5.0 * load ** 3 + rng.normal(0, 0.05, n)
+    samples = np.column_stack(
+        [
+            load + rng.normal(0, 0.02, n),          # strongly latency-related
+            load ** 2 + rng.normal(0, 0.02, n),     # also related
+            load + rng.normal(0, 0.0001, n),        # redundant with column 0
+            rng.normal(0, 1, n),                    # noise
+        ]
+    )
+    return samples, latency
+
+
+def test_pearson_matrix_properties(rng):
+    samples, _ = _synthetic_samples(rng)
+    corr = pearson_matrix(samples)
+    assert corr.shape == (4, 4)
+    assert np.allclose(np.diag(corr), 1.0)
+    assert np.allclose(corr, corr.T)
+    assert np.all(np.abs(corr) <= 1.0 + 1e-9)
+    assert corr[0, 2] > 0.99  # the redundant pair
+
+
+def test_pearson_constant_column_is_zero():
+    samples = np.column_stack([np.ones(10), np.arange(10.0)])
+    corr = pearson_matrix(samples)
+    assert corr[0, 1] == 0.0
+    assert corr[0, 0] == 1.0
+
+
+def test_selection_ranks_informative_counters_first(rng):
+    samples, latency = _synthetic_samples(rng)
+    names = ["load_like", "load_sq", "redundant", "noise"]
+    result = select_counters(samples, latency, names)
+    assert result.importance_rank["noise"] == 4
+    assert result.importance_rank["load_like"] <= 2
+
+
+def test_selection_drops_redundant_counter(rng):
+    samples, latency = _synthetic_samples(rng)
+    names = ["load_like", "load_sq", "redundant", "noise"]
+    result = select_counters(samples, latency, names, redundancy_threshold=0.98)
+    # Only one of the near-identical pair survives.
+    assert ("load_like" in result.selected) != ("redundant" in result.selected) or (
+        "load_like" in result.selected and "redundant" not in result.selected
+    )
+
+
+def test_explained_variance_threshold(rng):
+    samples, latency = _synthetic_samples(rng)
+    result = select_counters(samples, latency, ["a", "b", "c", "d"])
+    cumulative = np.cumsum(result.explained_variance_ratio)
+    assert cumulative[result.n_components - 1] >= 0.95 - 1e-9
+
+
+def test_latency_correlation_signs(rng):
+    samples, latency = _synthetic_samples(rng)
+    result = select_counters(samples, latency, ["a", "b", "c", "d"])
+    assert result.latency_correlation["a"] > 0.8
+    assert abs(result.latency_correlation["d"]) < 0.2
+
+
+def test_rank_is_permutation(rng):
+    samples, latency = _synthetic_samples(rng)
+    result = select_counters(samples, latency, ["a", "b", "c", "d"])
+    assert sorted(result.importance_rank.values()) == [1, 2, 3, 4]
+
+
+def test_validation(rng):
+    samples, latency = _synthetic_samples(rng)
+    with pytest.raises(ShapeError):
+        select_counters(samples, latency[:-1], ["a", "b", "c", "d"])
+    with pytest.raises(ShapeError):
+        select_counters(samples, latency, ["a", "b"])
+    with pytest.raises(ConfigurationError):
+        select_counters(samples[:2], latency[:2], ["a", "b", "c", "d"])

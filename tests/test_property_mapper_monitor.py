@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the mapper and the monitor.
+
+These are the invariants the rest of the system leans on: the mapper
+always produces placements that cover the request on the right socket and
+never overlap when they fit; the monitor's output always stays inside the
+unit hypercube regardless of raw readings.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import Allocation
+from repro.core.mapper import Mapper
+from repro.pmc.monitor import SystemMonitor
+from repro.server.machine import Machine
+from repro.server.spec import ServerSpec
+
+_SPEC = ServerSpec()
+
+allocation_st = st.builds(
+    Allocation,
+    num_cores=st.integers(min_value=1, max_value=18),
+    freq_index=st.integers(min_value=0, max_value=8),
+    llc_ways=st.integers(min_value=0, max_value=20),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.dictionaries(
+        st.sampled_from(["svc-a", "svc-b", "svc-c"]),
+        allocation_st,
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_mapper_always_satisfies_requests(requests):
+    mapper = Mapper(_SPEC, socket_index=1)
+    result = mapper.map(requests)
+    socket = set(_SPEC.socket_core_ids(1))
+    for name, request in requests.items():
+        assignment = result[name]
+        assert len(assignment.cores) == request.num_cores
+        assert len(set(assignment.cores)) == request.num_cores
+        assert set(assignment.cores) <= socket
+        assert assignment.freq_index == request.freq_index
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.dictionaries(
+        st.sampled_from(["svc-a", "svc-b"]),
+        allocation_st,
+        min_size=2,
+        max_size=2,
+    )
+)
+def test_mapper_disjoint_iff_fits(requests):
+    mapper = Mapper(_SPEC, socket_index=1)
+    result = mapper.map(requests)
+    names = list(requests)
+    total = sum(r.num_cores for r in requests.values())
+    overlap = set(result[names[0]].cores) & set(result[names[1]].cores)
+    if total <= 18:
+        assert not overlap
+    else:
+        assert len(overlap) == total - 18
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.dictionaries(
+        st.sampled_from(["a", "b", "c"]), allocation_st, min_size=1, max_size=3
+    )
+)
+def test_mapper_way_quotas_always_fit(requests):
+    mapper = Mapper(_SPEC, socket_index=1)
+    result = mapper.map(requests)
+    assert sum(a.llc_ways for a in result.values()) <= _SPEC.socket.llc_ways
+    for assignment in result.values():
+        assert assignment.llc_ways >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    requests=st.dictionaries(
+        st.sampled_from(["a", "b"]), allocation_st, min_size=1, max_size=2
+    )
+)
+def test_mapper_output_always_applies_to_machine(requests):
+    mapper = Mapper(_SPEC, socket_index=1)
+    machine = Machine(_SPEC)
+    machine.apply(mapper.map(requests))  # must not raise
+    for name in requests:
+        assert machine.effective_capacity(name) > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    readings=st.lists(
+        st.floats(min_value=0.0, max_value=1e15, allow_nan=False),
+        min_size=11,
+        max_size=11,
+    ),
+    steps=st.integers(min_value=1, max_value=8),
+)
+def test_monitor_output_in_unit_hypercube(readings, steps):
+    from repro.pmc.counters import COUNTER_NAMES, CounterCatalogue
+
+    monitor = SystemMonitor(CounterCatalogue(_SPEC).max_values())
+    named = dict(zip(COUNTER_NAMES, readings))
+    state = None
+    for _ in range(steps):
+        state = monitor.observe("svc", named)
+    assert state is not None
+    assert np.all(state >= 0.0)
+    assert np.all(state <= 1.0)
+    assert state.shape == (11,)

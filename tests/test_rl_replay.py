@@ -1,0 +1,108 @@
+"""Unit tests for uniform and prioritised replay buffers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.rl.prioritized import PrioritizedReplayBuffer
+from repro.rl.replay import ReplayBuffer
+
+
+def _transition(value: float):
+    return {
+        "state": np.full(3, value),
+        "reward": np.array(value),
+    }
+
+
+def test_replay_add_and_len(rng):
+    buffer = ReplayBuffer(10, rng)
+    assert len(buffer) == 0
+    buffer.add(_transition(1.0))
+    assert len(buffer) == 1
+
+
+def test_replay_wraps_at_capacity(rng):
+    buffer = ReplayBuffer(3, rng)
+    for value in range(5):
+        buffer.add(_transition(float(value)))
+    assert len(buffer) == 3
+    batch = buffer.gather(np.array([0, 1, 2]))
+    # slot 0 was overwritten by value 3, slot 1 by value 4
+    assert set(batch["reward"].tolist()) == {3.0, 4.0, 2.0}
+
+
+def test_replay_sample_shapes(rng):
+    buffer = ReplayBuffer(10, rng)
+    for value in range(6):
+        buffer.add(_transition(float(value)))
+    batch = buffer.sample(4)
+    assert batch["state"].shape == (4, 3)
+    assert batch["reward"].shape == (4,)
+    assert batch["indices"].shape == (4,)
+
+
+def test_replay_field_mismatch_rejected(rng):
+    buffer = ReplayBuffer(10, rng)
+    buffer.add(_transition(1.0))
+    with pytest.raises(ShapeError):
+        buffer.add({"state": np.ones(3)})
+    with pytest.raises(ShapeError):
+        buffer.add({"state": np.ones(4), "reward": np.array(1.0)})
+
+
+def test_replay_sample_empty_raises(rng):
+    with pytest.raises(ShapeError):
+        ReplayBuffer(4, rng).sample(1)
+
+
+def test_per_new_items_get_max_priority(rng):
+    buffer = PrioritizedReplayBuffer(8, rng)
+    buffer.add(_transition(0.0))
+    buffer.update_priorities(np.array([0]), np.array([10.0]))
+    buffer.add(_transition(1.0))
+    # The new item should be as likely as the high-error one.
+    assert buffer._tree[1] == pytest.approx(buffer._tree[0], rel=0.01)
+
+
+def test_per_sampling_prefers_high_priority(rng):
+    buffer = PrioritizedReplayBuffer(4, rng)
+    for value in range(4):
+        buffer.add(_transition(float(value)))
+    # Slot 2 gets overwhelming priority.
+    buffer.update_priorities(np.array([0, 1, 2, 3]), np.array([0.001, 0.001, 50.0, 0.001]))
+    batch = buffer.sample(256, beta=1.0)
+    counts = np.bincount(batch["indices"].astype(int), minlength=4)
+    assert counts[2] > 0.8 * 256
+
+
+def test_per_weights_normalised(rng):
+    buffer = PrioritizedReplayBuffer(8, rng)
+    for value in range(8):
+        buffer.add(_transition(float(value)))
+    buffer.update_priorities(np.arange(8), np.linspace(0.1, 2.0, 8))
+    batch = buffer.sample(16, beta=0.5)
+    assert batch["weights"].max() == pytest.approx(1.0)
+    assert np.all(batch["weights"] > 0)
+
+
+def test_per_beta_validation(rng):
+    buffer = PrioritizedReplayBuffer(4, rng)
+    buffer.add(_transition(0.0))
+    with pytest.raises(ConfigurationError):
+        buffer.sample(1, beta=1.5)
+
+
+def test_per_alpha_validation(rng):
+    with pytest.raises(ConfigurationError):
+        PrioritizedReplayBuffer(4, rng, alpha=2.0)
+
+
+def test_per_alpha_zero_is_uniform(rng):
+    buffer = PrioritizedReplayBuffer(4, rng, alpha=0.0)
+    for value in range(4):
+        buffer.add(_transition(float(value)))
+    buffer.update_priorities(np.arange(4), np.array([0.001, 0.001, 50.0, 0.001]))
+    batch = buffer.sample(2000, beta=1.0)
+    counts = np.bincount(batch["indices"].astype(int), minlength=4)
+    assert counts.min() > 300  # roughly uniform

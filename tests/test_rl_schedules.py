@@ -1,0 +1,50 @@
+"""Unit tests for repro.rl.schedules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rl.schedules import LinearSchedule, PiecewiseSchedule
+
+
+def test_linear_endpoints():
+    sched = LinearSchedule(1.0, 0.0, 100)
+    assert sched(0) == 1.0
+    assert sched(100) == 0.0
+    assert sched(50) == pytest.approx(0.5)
+
+
+def test_linear_clamps_outside_range():
+    sched = LinearSchedule(0.4, 1.0, 10)
+    assert sched(-5) == 0.4
+    assert sched(1000) == 1.0
+
+
+def test_linear_rejects_nonpositive_steps():
+    with pytest.raises(ConfigurationError):
+        LinearSchedule(1.0, 0.0, 0)
+
+
+def test_piecewise_paper_epsilon():
+    eps = PiecewiseSchedule([(0, 1.0), (10_000, 0.1), (25_000, 0.01)])
+    assert eps(0) == 1.0
+    assert eps(10_000) == pytest.approx(0.1)
+    assert eps(25_000) == pytest.approx(0.01)
+    assert eps(5_000) == pytest.approx(0.55)
+    assert eps(100_000) == pytest.approx(0.01)
+
+
+def test_piecewise_requires_increasing_knots():
+    with pytest.raises(ConfigurationError):
+        PiecewiseSchedule([(10, 1.0), (10, 0.5)])
+    with pytest.raises(ConfigurationError):
+        PiecewiseSchedule([(10, 1.0), (5, 0.5)])
+    with pytest.raises(ConfigurationError):
+        PiecewiseSchedule([(0, 1.0)])
+
+
+@given(st.integers(min_value=-100, max_value=30_000))
+def test_piecewise_monotone_decreasing_for_decreasing_knots(step):
+    eps = PiecewiseSchedule([(0, 1.0), (10_000, 0.1), (25_000, 0.01)])
+    assert 0.01 <= eps(step) <= 1.0
+    assert eps(step + 1) <= eps(step) + 1e-12

@@ -1,0 +1,96 @@
+"""Unit and property tests for the prioritised-replay sum tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rl.sum_tree import SumTree
+
+
+def test_total_tracks_updates():
+    tree = SumTree(4)
+    tree.update(0, 1.0)
+    tree.update(3, 2.0)
+    assert tree.total == pytest.approx(3.0)
+    tree.update(0, 0.5)
+    assert tree.total == pytest.approx(2.5)
+
+
+def test_find_returns_correct_leaf():
+    tree = SumTree(4)
+    for leaf, priority in enumerate([1.0, 2.0, 3.0, 4.0]):
+        tree.update(leaf, priority)
+    # cumulative: [1, 3, 6, 10]
+    assert tree.find(0.5) == 0
+    assert tree.find(2.5) == 1
+    assert tree.find(5.0) == 2
+    assert tree.find(9.9) == 3
+
+
+def test_find_never_returns_zero_priority_leaf():
+    tree = SumTree(8)
+    tree.update(5, 3.0)
+    for mass in np.linspace(0, 3.0, 17):
+        assert tree.find(float(mass)) == 5
+
+
+def test_find_on_empty_tree_raises():
+    with pytest.raises(ConfigurationError):
+        SumTree(4).find(0.5)
+
+
+def test_update_validation():
+    tree = SumTree(4)
+    with pytest.raises(IndexError):
+        tree.update(4, 1.0)
+    with pytest.raises(ConfigurationError):
+        tree.update(0, -1.0)
+    with pytest.raises(ConfigurationError):
+        tree.update(0, float("nan"))
+
+
+def test_non_power_of_two_capacity():
+    tree = SumTree(5)
+    for leaf in range(5):
+        tree.update(leaf, 1.0)
+    assert tree.total == pytest.approx(5.0)
+    found = {tree.find(m) for m in np.linspace(0.01, 4.99, 50)}
+    assert found == set(range(5))
+
+
+@settings(max_examples=50)
+@given(
+    priorities=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_total_equals_sum_of_priorities(priorities):
+    tree = SumTree(len(priorities))
+    for leaf, priority in enumerate(priorities):
+        tree.update(leaf, priority)
+    assert tree.total == pytest.approx(sum(priorities), abs=1e-9)
+
+
+@settings(max_examples=50)
+@given(
+    priorities=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=2,
+        max_size=64,
+    ),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_find_respects_cumulative_intervals(priorities, fraction):
+    tree = SumTree(len(priorities))
+    for leaf, priority in enumerate(priorities):
+        tree.update(leaf, priority)
+    mass = fraction * tree.total
+    leaf = tree.find(mass)
+    cumulative = np.cumsum([0.0] + priorities)
+    # The mass must fall inside (or on the boundary of) the returned leaf's
+    # cumulative interval.
+    assert cumulative[leaf] <= mass + 1e-6
+    assert mass <= cumulative[leaf + 1] + 1e-6

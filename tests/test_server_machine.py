@@ -1,0 +1,85 @@
+"""Unit tests for machine state: affinity, timesharing, migrations."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.server.machine import CoreAssignment, Machine
+from repro.server.spec import ServerSpec
+
+
+def test_apply_sets_affinity_and_frequency(spec):
+    machine = Machine(spec)
+    machine.apply({"svc": CoreAssignment(cores=(18, 19, 20), freq_index=5)})
+    cores = machine.cores_of("svc")
+    assert [c.core_id for c in cores] == [18, 19, 20]
+    assert all(c.freq_index == 5 for c in cores)
+    assert machine.frequency_of("svc") == pytest.approx(spec.dvfs[5])
+
+
+def test_unassigned_cores_drop_to_lowest_dvfs(spec):
+    machine = Machine(spec)
+    machine.apply({"svc": CoreAssignment(cores=(18,), freq_index=8)})
+    assert machine.cores[20].freq_index == 0
+
+
+def test_timeshared_core_gets_max_dvfs(spec):
+    machine = Machine(spec)
+    machine.apply(
+        {
+            "a": CoreAssignment(cores=(18, 19), freq_index=2),
+            "b": CoreAssignment(cores=(19, 20), freq_index=7),
+        }
+    )
+    assert machine.cores[19].freq_index == 7  # arbitration: max of requests
+    assert machine.cores[18].freq_index == 2
+    assert machine.cores[20].freq_index == 7
+    assert machine.cores[19].timeshared
+
+
+def test_effective_capacity_splits_shared_cores(spec):
+    machine = Machine(spec)
+    machine.apply(
+        {
+            "a": CoreAssignment(cores=(18, 19), freq_index=0),
+            "b": CoreAssignment(cores=(19,), freq_index=0),
+        }
+    )
+    assert machine.effective_capacity("a") == pytest.approx(1.5)
+    assert machine.effective_capacity("b") == pytest.approx(0.5)
+
+
+def test_migration_counting(spec):
+    machine = Machine(spec)
+    machine.apply({"svc": CoreAssignment(cores=(18, 19), freq_index=0)})
+    assert machine.migrations("svc") == 2  # initial placement counts entries
+    machine.apply({"svc": CoreAssignment(cores=(18, 19), freq_index=3)})
+    assert machine.migrations("svc") == 2  # DVFS change is not a migration
+    machine.apply({"svc": CoreAssignment(cores=(19, 20), freq_index=3)})
+    assert machine.migrations("svc") == 4  # one core left, one joined
+
+
+def test_apply_validation(spec):
+    machine = Machine(spec)
+    with pytest.raises(AllocationError):
+        machine.apply({"svc": CoreAssignment(cores=(), freq_index=0)})
+    with pytest.raises(AllocationError):
+        machine.apply({"svc": CoreAssignment(cores=(999,), freq_index=0)})
+    with pytest.raises(AllocationError):
+        machine.apply({"svc": CoreAssignment(cores=(1, 1), freq_index=0)})
+    with pytest.raises(AllocationError):
+        machine.apply({"svc": CoreAssignment(cores=(1,), freq_index=99)})
+
+
+def test_frequency_of_unassigned_raises(spec):
+    machine = Machine(spec)
+    with pytest.raises(AllocationError):
+        machine.frequency_of("ghost")
+
+
+def test_hotplug(spec):
+    machine = Machine(spec)
+    machine.apply({"svc": CoreAssignment(cores=(18, 19), freq_index=0)})
+    machine.set_hotplug([18], online=False)
+    assert machine.effective_capacity("svc") == pytest.approx(1.0)
+    machine.set_hotplug([18], online=True)
+    assert machine.effective_capacity("svc") == pytest.approx(2.0)

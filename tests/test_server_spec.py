@@ -1,0 +1,57 @@
+"""Unit tests for the server specification."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.spec import DvfsLadder, ServerSpec, SocketSpec
+
+
+def test_default_ladder_matches_paper():
+    ladder = DvfsLadder()
+    assert len(ladder) == 9
+    assert ladder.min_ghz == pytest.approx(1.2)
+    assert ladder.max_ghz == pytest.approx(2.0)
+    assert ladder[4] == pytest.approx(1.6)
+
+
+def test_ladder_index_of():
+    ladder = DvfsLadder()
+    assert ladder.index_of(1.5) == 3
+    with pytest.raises(ConfigurationError):
+        ladder.index_of(2.5)
+
+
+def test_ladder_validation():
+    with pytest.raises(ConfigurationError):
+        DvfsLadder(frequencies_ghz=(2.0,))
+    with pytest.raises(ConfigurationError):
+        DvfsLadder(frequencies_ghz=(2.0, 1.2))
+    with pytest.raises(ConfigurationError):
+        DvfsLadder(frequencies_ghz=(1.2, 1.2, 2.0))
+
+
+def test_default_spec_matches_paper_platform():
+    spec = ServerSpec()
+    assert spec.sockets == 2
+    assert spec.cores_per_socket == 18
+    assert spec.total_cores == 36
+
+
+def test_socket_core_ids():
+    spec = ServerSpec()
+    assert spec.socket_core_ids(0) == list(range(18))
+    assert spec.socket_core_ids(1) == list(range(18, 36))
+    with pytest.raises(ConfigurationError):
+        spec.socket_core_ids(2)
+
+
+def test_voltage_monotone_in_frequency():
+    spec = ServerSpec()
+    assert spec.voltage(2.0) > spec.voltage(1.2) > 0
+
+
+def test_socket_validation():
+    with pytest.raises(ConfigurationError):
+        SocketSpec(cores=0)
+    with pytest.raises(ConfigurationError):
+        SocketSpec(membw_gbps=-1)

@@ -1,0 +1,74 @@
+"""Unit tests for the memory-bandwidth + LLC interference model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.services.interference import InterferenceModel, ServiceDemand
+from repro.services.profiles import get_profile
+
+
+def _model():
+    return InterferenceModel(membw_capacity_gbps=60.0, llc_capacity_mb=45.0)
+
+
+def test_no_pressure_alone_at_low_load(masstree):
+    model = _model()
+    contention = model.resolve_single(masstree, throughput_rps=200.0)
+    assert contention.inflation == pytest.approx(1.0)
+    assert contention.miss_inflation == pytest.approx(1.0)
+
+
+def test_bandwidth_pressure_kicks_in_past_knee(moses):
+    model = _model()
+    # Moses at high load generates tens of GB/s.
+    low = model.resolve_single(moses, throughput_rps=500.0)
+    high = model.resolve_single(moses, throughput_rps=5000.0)
+    assert high.membw_utilization > low.membw_utilization
+    assert high.inflation > low.inflation >= 1.0
+
+
+def test_sensitive_service_suffers_more(masstree, moses):
+    """Masstree (sensitive, light) is hurt by Moses (heavy) more than
+    Moses is hurt by Masstree — the paper's motivating asymmetry."""
+    model = _model()
+    demands = {
+        "masstree": ServiceDemand(profile=masstree, throughput_rps=500.0),
+        "moses": ServiceDemand(profile=moses, throughput_rps=4500.0),
+    }
+    contention = model.resolve(demands)
+    assert contention["masstree"].inflation > contention["moses"].inflation
+
+
+def test_llc_overcommit_inflates_misses(moses, xapian):
+    model = InterferenceModel(membw_capacity_gbps=1000.0, llc_capacity_mb=40.0)
+    demands = {
+        "moses": ServiceDemand(profile=moses, throughput_rps=2000.0),
+        "xapian": ServiceDemand(profile=xapian, throughput_rps=800.0),
+    }
+    contention = model.resolve(demands)
+    assert contention["moses"].llc_overcommit > 1.0
+    assert contention["moses"].miss_inflation > 1.0
+    assert contention["xapian"].miss_inflation > 1.0
+
+
+def test_llc_fits_no_inflation(masstree, xapian):
+    model = InterferenceModel(membw_capacity_gbps=1000.0, llc_capacity_mb=100.0)
+    demands = {
+        "masstree": ServiceDemand(profile=masstree, throughput_rps=200.0),
+        "xapian": ServiceDemand(profile=xapian, throughput_rps=200.0),
+    }
+    contention = model.resolve(demands)
+    assert contention["masstree"].miss_inflation == pytest.approx(1.0)
+
+
+def test_pressure_curve_smooth_at_knee():
+    model = _model()
+    just_below = model._bandwidth_pressure(model.bandwidth_knee - 1e-9)
+    just_above = model._bandwidth_pressure(model.bandwidth_knee + 1e-6)
+    assert just_below == 0.0
+    assert just_above < 1e-10  # continuous, starts at zero
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        InterferenceModel(membw_capacity_gbps=0.0, llc_capacity_mb=45.0)

@@ -1,0 +1,96 @@
+"""Unit tests for the load generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.services.loadgen import (
+    ConstantLoad,
+    DiurnalLoad,
+    StepwiseVaryingLoad,
+    TraceLoad,
+)
+
+
+def test_constant_load_fraction():
+    gen = ConstantLoad(1000.0, 0.5, jitter_std=0.0)
+    assert gen.rate(0) == pytest.approx(500.0)
+    assert gen.rate(999) == pytest.approx(500.0)
+
+
+def test_constant_load_jitter_centered():
+    gen = ConstantLoad(1000.0, 0.5, rng=np.random.default_rng(0), jitter_std=0.05)
+    rates = [gen.rate(t) for t in range(500)]
+    assert abs(np.mean(rates) - 500.0) < 10.0
+    assert np.std(rates) > 0
+
+
+def test_stepwise_cycle_shape():
+    """Rises by the change factor to max, then falls back (Figure 10)."""
+    gen = StepwiseVaryingLoad(
+        1000.0, min_fraction=0.2, max_fraction=1.0, change_factor=1.2,
+        step_every=10, jitter_std=0.0,
+    )
+    levels = [gen.fraction(t * 10) for t in range(len(gen._levels))]
+    peak = max(levels)
+    assert peak == pytest.approx(1.0)
+    assert levels[0] == pytest.approx(0.2)
+    rising = levels[: levels.index(peak) + 1]
+    assert rising == sorted(rising)
+    falling = levels[levels.index(peak):]
+    assert falling == sorted(falling, reverse=True)
+
+
+def test_stepwise_holds_between_changes():
+    gen = StepwiseVaryingLoad(1000.0, step_every=200, jitter_std=0.0)
+    assert gen.fraction(0) == gen.fraction(199)
+    assert gen.fraction(200) != gen.fraction(199)
+
+
+def test_stepwise_average_constant_across_changes():
+    """Successive levels differ exactly by the change factor."""
+    gen = StepwiseVaryingLoad(1000.0, change_factor=1.2, step_every=1, jitter_std=0.0)
+    levels = gen._levels
+    for a, b in zip(levels, levels[1:]):
+        ratio = max(a, b) / min(a, b)
+        assert ratio <= 1.2 + 1e-9
+
+
+def test_diurnal_oscillates_within_bounds():
+    gen = DiurnalLoad(1000.0, min_fraction=0.2, max_fraction=0.9, period=100, jitter_std=0.0)
+    fractions = [gen.fraction(t) for t in range(200)]
+    assert min(fractions) >= 0.2 - 1e-9
+    assert max(fractions) <= 0.9 + 1e-9
+    assert max(fractions) - min(fractions) > 0.6  # actually swings
+
+
+def test_diurnal_periodicity():
+    gen = DiurnalLoad(1000.0, period=50, jitter_std=0.0)
+    assert gen.fraction(10) == pytest.approx(gen.fraction(60))
+
+
+def test_trace_load_clamps():
+    gen = TraceLoad(100.0, [0.1, 0.5, 1.0], jitter_std=0.0)
+    assert gen.rate(0) == pytest.approx(10.0)
+    assert gen.rate(2) == pytest.approx(100.0)
+    assert gen.rate(99) == pytest.approx(100.0)  # clamped to last
+
+
+def test_rate_never_negative():
+    gen = ConstantLoad(10.0, 0.01, rng=np.random.default_rng(0), jitter_std=2.0)
+    assert all(gen.rate(t) >= 0.0 for t in range(200))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ConstantLoad(0.0, 0.5)
+    with pytest.raises(ConfigurationError):
+        ConstantLoad(100.0, 2.0)
+    with pytest.raises(ConfigurationError):
+        StepwiseVaryingLoad(100.0, min_fraction=0.9, max_fraction=0.5)
+    with pytest.raises(ConfigurationError):
+        StepwiseVaryingLoad(100.0, change_factor=1.0)
+    with pytest.raises(ConfigurationError):
+        DiurnalLoad(100.0, period=0)
+    with pytest.raises(ConfigurationError):
+        TraceLoad(100.0, [])

@@ -1,0 +1,99 @@
+"""Unit tests for service profiles and their derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.services.profiles import (
+    TAILBENCH_SERVICES,
+    ServiceProfile,
+    builtin_profiles,
+    get_profile,
+)
+
+
+def test_builtin_catalogue_contains_paper_services():
+    profiles = builtin_profiles()
+    for name in ("masstree", "xapian", "moses", "img-dnn", "memcached", "web-search"):
+        assert name in profiles
+    assert set(TAILBENCH_SERVICES) <= set(profiles)
+
+
+def test_paper_table2_loads_recorded():
+    assert get_profile("masstree").paper_max_load_rps == 2400
+    assert get_profile("xapian").paper_max_load_rps == 1000
+    assert get_profile("moses").paper_max_load_rps == 2800
+    assert get_profile("img-dnn").paper_max_load_rps == 1100
+    assert get_profile("masstree").paper_qos_target_ms == pytest.approx(1.39)
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(ConfigurationError):
+        get_profile("nonexistent")
+
+
+def test_effective_cores_amdahl(masstree):
+    assert masstree.effective_cores(1) == pytest.approx(1.0)
+    assert masstree.effective_cores(18) < 18.0
+    # diminishing returns: marginal core value decreases
+    gain_early = masstree.effective_cores(2) - masstree.effective_cores(1)
+    gain_late = masstree.effective_cores(18) - masstree.effective_cores(17)
+    assert gain_late < gain_early
+
+
+def test_frequency_factor_bounds(masstree):
+    assert masstree.frequency_factor(2.0, 2.0) == pytest.approx(1.0)
+    # lower frequency -> slower
+    assert masstree.frequency_factor(1.2, 2.0) > 1.0
+    # memory-bound fraction limits the slowdown below the pure clock ratio
+    assert masstree.frequency_factor(1.2, 2.0) < 2.0 / 1.2
+
+
+def test_frequency_sensitivity_ordering():
+    """Img-dnn (compute bound) suffers more from low clocks than Masstree."""
+    img = get_profile("img-dnn")
+    mt = get_profile("masstree")
+    assert img.frequency_factor(1.2, 2.0) > mt.frequency_factor(1.2, 2.0)
+
+
+def test_capacity_knee_near_max_load():
+    """With 18 cores at max DVFS the capacity sits just above Table II load."""
+    for name in TAILBENCH_SERVICES:
+        profile = get_profile(name)
+        capacity = profile.capacity_rps(18, 2.0, 2.0)
+        assert 1.0 < capacity / profile.max_load_rps < 1.25, name
+
+
+def test_capacity_monotonicity(moses):
+    assert moses.capacity_rps(10, 2.0, 2.0) > moses.capacity_rps(5, 2.0, 2.0)
+    assert moses.capacity_rps(10, 2.0, 2.0) > moses.capacity_rps(10, 1.2, 2.0)
+    assert moses.capacity_rps(10, 2.0, 2.0, inflation=1.0) > moses.capacity_rps(
+        10, 2.0, 2.0, inflation=1.5
+    )
+
+
+def test_paper_service_characters():
+    """The paper's qualitative characterisations hold in the profiles."""
+    moses = get_profile("moses")
+    masstree = get_profile("masstree")
+    # Moses: high cache/bandwidth demand.
+    assert moses.membw_per_req_mb > masstree.membw_per_req_mb
+    assert moses.llc_working_set_mb > masstree.llc_working_set_mb
+    # Masstree: extremely sensitive to bandwidth interference.
+    assert masstree.membw_sensitivity > moses.membw_sensitivity
+
+
+def test_with_qos_target(masstree):
+    changed = masstree.with_qos_target(5.0)
+    assert changed.qos_target_ms == 5.0
+    assert changed.name == masstree.name
+    assert masstree.qos_target_ms != 5.0  # original untouched
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigurationError):
+        get_profile("masstree").effective_cores(0)
+    base = get_profile("masstree")
+    with pytest.raises(ConfigurationError):
+        ServiceProfile(**{**base.__dict__, "serial_fraction": 1.5})
+    with pytest.raises(ConfigurationError):
+        ServiceProfile(**{**base.__dict__, "cpu_ms_per_req": -1.0})

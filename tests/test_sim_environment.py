@@ -1,0 +1,159 @@
+"""Unit tests for the colocation environment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.pmc.counters import COUNTER_NAMES
+from repro.server.machine import CoreAssignment
+from repro.server.spec import ServerSpec
+from repro.services.loadgen import ConstantLoad
+from repro.services.profiles import get_profile
+from repro.sim.environment import ColocationEnvironment, EnvironmentConfig
+
+
+def _env(rng, names=("masstree",), fractions=(0.5,), **cfg_kwargs):
+    spec = ServerSpec()
+    profiles = [get_profile(n) for n in names]
+    gens = {
+        n: ConstantLoad(get_profile(n).max_load_rps, f, rng=np.random.default_rng(i))
+        for i, (n, f) in enumerate(zip(names, fractions))
+    }
+    config = EnvironmentConfig(spec=spec, **cfg_kwargs)
+    return ColocationEnvironment(config, profiles, gens, rng)
+
+
+def _full_socket(env, freq_index=8):
+    cores = tuple(env.socket_core_ids)
+    return {n: CoreAssignment(cores=cores, freq_index=freq_index) for n in env.service_names}
+
+
+def test_step_returns_observations_and_power(rng):
+    env = _env(rng)
+    result = env.step(_full_socket(env))
+    assert result.time == 1
+    obs = result.observations["masstree"]
+    assert obs.p99_ms > 0
+    assert set(obs.pmcs) == set(COUNTER_NAMES)
+    assert result.true_power_w > 0
+    assert result.energy_j > 0
+
+
+def test_energy_accumulates(rng):
+    env = _env(rng)
+    assignments = _full_socket(env)
+    env.step(assignments)
+    first = env.energy_j
+    env.step(assignments)
+    assert env.energy_j > first
+
+
+def test_rejects_assignment_outside_server_socket(rng):
+    env = _env(rng)
+    bad = {"masstree": CoreAssignment(cores=(0, 1), freq_index=0)}  # socket 0
+    with pytest.raises(AllocationError):
+        env.step(bad)
+
+
+def test_rejects_wrong_service_set(rng):
+    env = _env(rng)
+    with pytest.raises(AllocationError):
+        env.step({"ghost": CoreAssignment(cores=(18,), freq_index=0)})
+
+
+def test_missing_load_generator_rejected(rng):
+    spec = ServerSpec()
+    with pytest.raises(ConfigurationError):
+        ColocationEnvironment(
+            EnvironmentConfig(spec=spec), [get_profile("masstree")], {}, rng
+        )
+
+
+def test_fewer_cores_lower_power(rng):
+    few = _env(np.random.default_rng(0), fractions=(0.2,))
+    few_power = np.mean(
+        [
+            few.step(
+                {"masstree": CoreAssignment(cores=tuple(few.socket_core_ids[:4]), freq_index=8)}
+            ).true_power_w
+            for _ in range(10)
+        ]
+    )
+    many = _env(np.random.default_rng(0), fractions=(0.2,))
+    many_power = np.mean(
+        [many.step(_full_socket(many)).true_power_w for _ in range(10)]
+    )
+    assert few_power < many_power
+
+
+def test_lower_dvfs_lower_power(rng):
+    slow = _env(np.random.default_rng(0), fractions=(0.2,))
+    slow_power = np.mean(
+        [slow.step(_full_socket(slow, freq_index=0)).true_power_w for _ in range(10)]
+    )
+    fast = _env(np.random.default_rng(0), fractions=(0.2,))
+    fast_power = np.mean(
+        [fast.step(_full_socket(fast, freq_index=8)).true_power_w for _ in range(10)]
+    )
+    assert slow_power < fast_power
+
+
+def test_colocation_interferes(rng):
+    """Masstree's latency rises when a bandwidth-hungry Moses joins."""
+    alone = _env(np.random.default_rng(0), names=("masstree",), fractions=(0.5,))
+    p99_alone = np.median(
+        [alone.step(_full_socket(alone)).observations["masstree"].p99_ms for _ in range(20)]
+    )
+    coloc = _env(
+        np.random.default_rng(0), names=("masstree", "moses"), fractions=(0.5, 0.9)
+    )
+    p99_coloc = np.median(
+        [coloc.step(_full_socket(coloc)).observations["masstree"].p99_ms for _ in range(20)]
+    )
+    assert p99_coloc > p99_alone
+
+
+def test_timeshared_static_allocation_serves_both(rng):
+    env = _env(rng, names=("masstree", "moses"), fractions=(0.3, 0.3))
+    for _ in range(10):
+        result = env.step(_full_socket(env))
+    for name in ("masstree", "moses"):
+        assert result.observations[name].qos_met, name
+
+
+def test_swap_service(rng):
+    env = _env(rng, names=("masstree",), fractions=(0.5,))
+    gen = ConstantLoad(get_profile("xapian").max_load_rps, 0.5, rng=rng)
+    env.swap_service("masstree", get_profile("xapian"), gen)
+    assert env.service_names == ["xapian"]
+    cores = tuple(env.socket_core_ids)
+    result = env.step({"xapian": CoreAssignment(cores=cores, freq_index=8)})
+    assert result.observations["xapian"].p99_ms > 0
+
+
+def test_swap_unknown_service_raises(rng):
+    env = _env(rng)
+    with pytest.raises(ConfigurationError):
+        env.swap_service("ghost", get_profile("xapian"), ConstantLoad(100, 0.1))
+
+
+def test_qos_target_override(rng):
+    spec = ServerSpec()
+    env = ColocationEnvironment(
+        EnvironmentConfig(spec=spec),
+        [get_profile("masstree")],
+        {"masstree": ConstantLoad(2400, 0.5, rng=rng)},
+        rng,
+        qos_targets={"masstree": 99.0},
+    )
+    assert env.qos_target_of("masstree") == 99.0
+
+
+def test_hotplug_unused_reduces_power(rng):
+    on = _env(np.random.default_rng(0), fractions=(0.2,), hotplug_unused=False)
+    off = _env(np.random.default_rng(0), fractions=(0.2,), hotplug_unused=True)
+    alloc_on = {"masstree": CoreAssignment(cores=tuple(on.socket_core_ids[:4]), freq_index=8)}
+    alloc_off = {"masstree": CoreAssignment(cores=tuple(off.socket_core_ids[:4]), freq_index=8)}
+    p_on = np.mean([on.step(alloc_on).true_power_w for _ in range(5)])
+    p_off = np.mean([off.step(alloc_off).true_power_w for _ in range(5)])
+    assert p_off < p_on

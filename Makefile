@@ -1,0 +1,24 @@
+# Development targets. Everything assumes the src/ layout:
+# PYTHONPATH=src is injected so no install step is needed.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test trace-e2e bench docs-check
+
+## Tier-1: the full unit/property/integration suite (excludes -m slow).
+test:
+	$(PYTEST) -x -q
+
+## One tiny end-to-end traced experiment; validates every emitted JSONL
+## trace line against the repro.obs event schema and the run manifest.
+trace-e2e:
+	$(PYTEST) -q -m trace_e2e
+
+## Schema/doc consistency: docs/observability.md vs the event registry.
+docs-check:
+	$(PYTEST) -q tests/test_obs_schema_doc.py
+
+## Paper-artifact benchmarks at quick scale.
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -6,6 +6,9 @@
 - :mod:`repro.analysis.textplot` — dependency-free terminal charts
   (sparklines, horizontal bars, series tables) used by the CLI and the
   experiment reports.
+- :mod:`repro.analysis.trace_report` — learning-curve + violation-timeline
+  text reports rendered from structured JSONL traces (``repro trace
+  report``).
 """
 
 from repro.analysis.stats import (
@@ -15,13 +18,25 @@ from repro.analysis.stats import (
     violin_stats,
 )
 from repro.analysis.textplot import bar_chart, series_table, sparkline
+from repro.analysis.trace_report import (
+    ViolationEpisode,
+    learning_curve,
+    longest_episode,
+    render_report,
+    violation_episodes,
+)
 
 __all__ = [
+    "ViolationEpisode",
     "bar_chart",
     "bootstrap_ci",
     "histogram_density",
+    "learning_curve",
+    "longest_episode",
+    "render_report",
     "series_table",
     "sparkline",
     "summary_quantiles",
+    "violation_episodes",
     "violin_stats",
 ]

@@ -1,0 +1,152 @@
+"""Render a text report from a structured JSONL trace.
+
+Turns any trace produced by :mod:`repro.obs` into the two views that
+matter when debugging a run after the fact: a bucketed learning curve
+(mean reward and QoS guarantee per bucket, as sparklines plus a table)
+and a violation timeline showing where each QoS-violation episode
+started, how long it lasted, and how bad it got. ``repro trace report``
+is a thin wrapper over :func:`render_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.textplot import series_table, sparkline
+from repro.errors import ConfigurationError
+from repro.obs.sink import read_trace
+
+
+@dataclass
+class ViolationEpisode:
+    """One maximal run of consecutive QoS-violation intervals."""
+
+    service: str
+    start: int                     # first violating interval (t)
+    end: int                       # last violating interval (t)
+    peak_tardiness: float
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
+def violation_episodes(events: Iterable[Dict[str, Any]]) -> List[ViolationEpisode]:
+    """Group ``qos_violation`` events into per-service episodes."""
+    episodes: List[ViolationEpisode] = []
+    open_episodes: Dict[str, ViolationEpisode] = {}
+    for event in events:
+        if event.get("ev") != "qos_violation":
+            continue
+        name = event["service"]
+        current = open_episodes.get(name)
+        if event["consecutive"] == 1 or current is None:
+            current = ViolationEpisode(
+                service=name,
+                start=event["t"],
+                end=event["t"],
+                peak_tardiness=event["tardiness"],
+            )
+            open_episodes[name] = current
+            episodes.append(current)
+        else:
+            current.end = event["t"]
+            current.peak_tardiness = max(current.peak_tardiness, event["tardiness"])
+    return episodes
+
+
+def learning_curve(
+    events: Sequence[Dict[str, Any]], bucket: int = 0
+) -> Dict[str, List[float]]:
+    """Bucketed mean reward and QoS-guarantee series from a trace.
+
+    ``bucket=0`` picks ~20 buckets automatically. Returns columns keyed
+    ``reward`` and ``qos_pct`` plus the bucket end-steps under ``step``.
+    """
+    rewards: List[tuple] = []
+    intervals: List[tuple] = []
+    for event in events:
+        if event.get("ev") == "reward":
+            rewards.append((event["t"], event["reward"]))
+        elif event.get("ev") == "interval":
+            met = [1.0 if s["qos_met"] else 0.0 for s in event["services"].values()]
+            intervals.append((event["t"], sum(met) / len(met)))
+    if not intervals:
+        raise ConfigurationError("trace contains no interval events")
+    last_t = intervals[-1][0]
+    if bucket <= 0:
+        bucket = max(1, last_t // 20)
+    steps: List[float] = []
+    reward_series: List[float] = []
+    qos_series: List[float] = []
+    for start in range(0, last_t + 1, bucket):
+        end = start + bucket
+        bucket_rewards = [r for t, r in rewards if start < t <= end]
+        bucket_qos = [q for t, q in intervals if start < t <= end]
+        if not bucket_qos:
+            continue
+        steps.append(float(end))
+        reward_series.append(
+            sum(bucket_rewards) / len(bucket_rewards) if bucket_rewards else 0.0
+        )
+        qos_series.append(100.0 * sum(bucket_qos) / len(bucket_qos))
+    return {"step": steps, "reward": reward_series, "qos_pct": qos_series}
+
+
+def render_report(
+    trace: Union[str, Path, Sequence[Dict[str, Any]]],
+    bucket: int = 0,
+    max_episodes: int = 20,
+) -> str:
+    """Full text report: learning curve + violation timeline."""
+    events = read_trace(trace) if isinstance(trace, (str, Path)) else list(trace)
+    if not events:
+        raise ConfigurationError("trace is empty")
+    lines: List[str] = []
+
+    curve = learning_curve(events, bucket=bucket)
+    lines.append("Learning curve")
+    lines.append(f"  qos%    {sparkline(curve['qos_pct'], low=0.0, high=100.0)}")
+    if any(curve["reward"]):
+        lines.append(f"  reward  {sparkline(curve['reward'])}")
+    lines.append("")
+    lines.append(
+        series_table(
+            {"reward": curve["reward"], "qos_pct": curve["qos_pct"]},
+            index=[int(s) for s in curve["step"]],
+            index_name="step",
+        )
+    )
+
+    episodes = sorted(violation_episodes(events), key=lambda e: (e.start, e.service))
+    lines.append("")
+    lines.append(f"Violation timeline ({len(episodes)} episodes)")
+    if not episodes:
+        lines.append("  (no QoS violations recorded)")
+    shown = episodes if len(episodes) <= max_episodes else (
+        episodes[: max_episodes // 2] + episodes[-max_episodes // 2:]
+    )
+    skipped = len(episodes) - len(shown)
+    for i, episode in enumerate(shown):
+        if skipped and i == max_episodes // 2:
+            lines.append(f"  ... {skipped} episodes omitted ...")
+        lines.append(
+            f"  t={episode.start:>6d}..{episode.end:<6d} {episode.service:<12s} "
+            f"{episode.length:>5d} intervals, peak tardiness "
+            f"{episode.peak_tardiness:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def longest_episode(
+    events: Iterable[Dict[str, Any]], service: Optional[str] = None
+) -> Optional[ViolationEpisode]:
+    """The worst violation cascade (optionally for one service)."""
+    episodes = [
+        e for e in violation_episodes(events) if service is None or e.service == service
+    ]
+    if not episodes:
+        return None
+    return max(episodes, key=lambda e: (e.length, e.peak_tardiness))

@@ -3,20 +3,29 @@
 Subcommands
 -----------
 - ``list``               — show every reproducible paper artifact.
-- ``run <id>``           — run one experiment and print its table
-  (``--scale quick|default|paper`` picks the step budget).
+- ``run <id>...``        — run one or more experiments and print their
+  tables (``--scale quick|default|paper`` picks the step budget;
+  ``--trace`` records a JSONL trace + manifest per experiment under
+  ``--out-dir``; ``--strict`` re-raises the first failure instead of
+  recording it and continuing).
 - ``capacity``           — print the simulated platform and Table-II view.
 - ``compare``            — one-cell Twig-S vs baselines comparison with a
   terminal bar chart.
+- ``trace``              — inspect a recorded JSONL trace:
+  ``summarize`` (run-level aggregates), ``tail`` (last events),
+  ``export-csv`` (flatten one event type), ``report`` (learning curve +
+  violation timeline).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Optional
 
 from repro.analysis.textplot import bar_chart
+from repro.errors import ReproError
 from repro.experiments import REGISTRY, run_experiment
 from repro.experiments.common import HarnessConfig
 
@@ -68,6 +77,15 @@ def _config_for(experiment_id: str, scale: str) -> Optional[Any]:
         if scale == "quick":
             return Fig13Config(harness=harness, levels=(0.2, 0.5), pairs_limit=2)
         return Fig13Config(harness=harness)
+    if experiment_id == "fig07" and scale == "quick":
+        from repro.experiments.fig07_learning_curve import Fig07Config
+
+        return Fig07Config(
+            total_steps=2_000,
+            bucket=250,
+            twig_epsilon_mid=800,
+            hipster_learning_phase=800,
+        )
     if experiment_id == "fig01" and scale == "quick":
         from repro.experiments.fig01_pmc_prediction import Fig01Config
 
@@ -87,10 +105,44 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    config = _config_for(args.experiment, args.scale)
-    result = run_experiment(args.experiment, config)
-    print(result.format_table())
-    return 0
+    experiments = args.experiment
+    if len(experiments) == 1 and not (args.trace or args.strict or args.out_dir):
+        # Single untraced run: no manifest machinery, just the table.
+        config = _config_for(experiments[0], args.scale)
+        result = run_experiment(experiments[0], config)
+        print(result.format_table())
+        return 0
+
+    from repro.experiments.runner import run_experiments
+
+    out_dir = args.out_dir or "runs"
+    configs = {e: _config_for(e, args.scale) for e in experiments}
+    runs = run_experiments(
+        experiments,
+        configs={k: v for k, v in configs.items() if v is not None},
+        strict=args.strict,
+        out_dir=out_dir,
+        trace=args.trace,
+        validate=args.validate,
+    )
+    failed = 0
+    for run in runs:
+        print(f"== {run.experiment_id} ({run.manifest.status}) ==")
+        if run.ok:
+            print(run.result.format_table())
+        else:
+            failed += 1
+            print(f"error: {run.manifest.error}")
+        if args.trace:
+            print(
+                f"trace: {run.manifest.trace_path} "
+                f"({run.manifest.trace_events} events), "
+                f"manifest: {out_dir}/{run.experiment_id}/manifest.json"
+            )
+        print()
+    if failed:
+        print(f"{failed}/{len(runs)} experiments failed (see manifests)")
+    return 1 if failed else 0
 
 
 def cmd_capacity(_args: argparse.Namespace) -> int:
@@ -133,6 +185,88 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import format_summary, iter_trace, summarize_events
+
+    summary = summarize_events(iter_trace(args.trace_file))
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
+def cmd_trace_tail(args: argparse.Namespace) -> int:
+    from collections import deque
+
+    from repro.obs import iter_trace
+
+    events: Any = deque(maxlen=args.lines)
+    for event in iter_trace(args.trace_file):
+        if args.type is not None and event.get("ev") != args.type:
+            continue
+        events.append(event)
+    for event in events:
+        print(json.dumps(event, separators=(",", ":")))
+    return 0
+
+
+def _flatten(event: dict) -> dict:
+    """One CSV row per event; nested objects become dotted columns."""
+    row = {}
+    for key, value in event.items():
+        if isinstance(value, dict):
+            for inner_key, inner in value.items():
+                if isinstance(inner, dict):
+                    for leaf_key, leaf in inner.items():
+                        row[f"{key}.{inner_key}.{leaf_key}"] = leaf
+                else:
+                    row[f"{key}.{inner_key}"] = inner
+        elif isinstance(value, list):
+            row[key] = ";".join(str(v) for v in value)
+        else:
+            row[key] = value
+    return row
+
+
+def cmd_trace_export_csv(args: argparse.Namespace) -> int:
+    import csv
+
+    from repro.obs import iter_trace
+
+    rows = []
+    columns: list = []
+    for event in iter_trace(args.trace_file):
+        if event.get("ev") != args.type:
+            continue
+        row = _flatten(event)
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+        rows.append(row)
+    if not rows:
+        print(f"no {args.type!r} events in {args.trace_file}", file=sys.stderr)
+        return 1
+    handle = open(args.output, "w", newline="") if args.output else sys.stdout
+    try:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    finally:
+        if args.output:
+            handle.close()
+    if args.output:
+        print(f"wrote {len(rows)} rows to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.analysis.trace_report import render_report
+
+    print(render_report(args.trace_file, bucket=args.bucket))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -141,9 +275,26 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_list
     )
 
-    run_parser = sub.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=sorted(REGISTRY))
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("experiment", nargs="+", choices=sorted(REGISTRY))
     run_parser.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
+    run_parser.add_argument(
+        "--strict", action="store_true",
+        help="re-raise the first experiment failure instead of recording it "
+             "in the manifest and continuing",
+    )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="record a structured JSONL trace + run manifest per experiment",
+    )
+    run_parser.add_argument(
+        "--out-dir", default=None,
+        help="directory for traces/manifests (default: runs/)",
+    )
+    run_parser.add_argument(
+        "--validate", action="store_true",
+        help="schema-validate every trace event as it is emitted (slower)",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     sub.add_parser("capacity", help="show platform + Table-II view").set_defaults(
@@ -155,12 +306,51 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--load", type=float, default=0.5)
     compare_parser.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
     compare_parser.set_defaults(func=cmd_compare)
+
+    trace_parser = sub.add_parser("trace", help="inspect a recorded JSONL trace")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    summarize = trace_sub.add_parser(
+        "summarize", help="run-level aggregates recovered from the trace"
+    )
+    summarize.add_argument("trace_file")
+    summarize.add_argument("--json", action="store_true", help="machine-readable output")
+    summarize.set_defaults(func=cmd_trace_summarize)
+
+    tail = trace_sub.add_parser("tail", help="print the last events of a trace")
+    tail.add_argument("trace_file")
+    tail.add_argument("-n", "--lines", type=int, default=10)
+    tail.add_argument("--type", default=None, help="only events of this type")
+    tail.set_defaults(func=cmd_trace_tail)
+
+    export = trace_sub.add_parser(
+        "export-csv", help="flatten one event type to CSV"
+    )
+    export.add_argument("trace_file")
+    export.add_argument("--type", default="interval", help="event type to export")
+    export.add_argument("-o", "--output", default=None, help="output file (default: stdout)")
+    export.set_defaults(func=cmd_trace_export_csv)
+
+    report = trace_sub.add_parser(
+        "report", help="learning curve + violation timeline"
+    )
+    report.add_argument("trace_file")
+    report.add_argument("--bucket", type=int, default=0, help="bucket size (0 = auto)")
+    report.set_defaults(func=cmd_trace_report)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.stderr.close()
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

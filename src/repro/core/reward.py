@@ -37,14 +37,28 @@ class RewardParams:
             raise ConfigurationError(f"cap must be negative, got {self.cap}")
 
 
-def compute_reward(
+@dataclass(frozen=True)
+class RewardBreakdown:
+    """Equation 1, decomposed — what the ``reward`` trace event carries.
+
+    ``power_rew`` is 0 on the violation branch (the penalty ignores power);
+    ``total`` is always exactly what :func:`compute_reward` returns.
+    """
+
+    total: float
+    qos_rew: float                 # measured p99 / target
+    power_rew: float               # max power / estimated power (0 on violation)
+    violation: bool                # penalty branch applied
+
+
+def reward_components(
     measured_qos_ms: float,
     qos_target_ms: float,
     max_power_w: float,
     estimated_power_w: float,
     params: RewardParams = RewardParams(),
-) -> float:
-    """Equation 1 for one service over one interval."""
+) -> RewardBreakdown:
+    """Equation 1 for one service over one interval, with its terms."""
     if qos_target_ms <= 0:
         raise ConfigurationError(f"qos_target_ms must be positive, got {qos_target_ms}")
     if measured_qos_ms < 0:
@@ -54,5 +68,28 @@ def compute_reward(
     qos_rew = measured_qos_ms / qos_target_ms
     if qos_rew <= 1.0:
         power_rew = max_power_w / estimated_power_w
-        return qos_rew + params.theta * power_rew
-    return max(-(qos_rew ** params.phi), params.cap)
+        return RewardBreakdown(
+            total=qos_rew + params.theta * power_rew,
+            qos_rew=qos_rew,
+            power_rew=power_rew,
+            violation=False,
+        )
+    return RewardBreakdown(
+        total=max(-(qos_rew ** params.phi), params.cap),
+        qos_rew=qos_rew,
+        power_rew=0.0,
+        violation=True,
+    )
+
+
+def compute_reward(
+    measured_qos_ms: float,
+    qos_target_ms: float,
+    max_power_w: float,
+    estimated_power_w: float,
+    params: RewardParams = RewardParams(),
+) -> float:
+    """Equation 1 for one service over one interval."""
+    return reward_components(
+        measured_qos_ms, qos_target_ms, max_power_w, estimated_power_w, params
+    ).total

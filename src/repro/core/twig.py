@@ -25,8 +25,11 @@ from repro.core.config import TwigConfig
 from repro.core.manager import TaskManager
 from repro.core.mapper import Mapper
 from repro.core.power_model import ServicePowerModel
-from repro.core.reward import compute_reward
+from repro.core.reward import RewardBreakdown, reward_components
 from repro.errors import ConfigurationError
+from repro.obs.events import make_event
+from repro.obs.sink import NULL_SINK, TraceSink
+from repro.obs.timing import TimingRegistry
 from repro.pmc.counters import CounterCatalogue
 from repro.pmc.monitor import SystemMonitor
 from repro.rl.agent import BDQAgent, BDQAgentConfig, Transition
@@ -48,6 +51,8 @@ class Twig(TaskManager):
         spec: Optional[ServerSpec] = None,
         power_models: Optional[Mapping[str, ServicePowerModel]] = None,
         qos_targets: Optional[Mapping[str, float]] = None,
+        trace: Optional[TraceSink] = None,
+        timings: Optional[TimingRegistry] = None,
     ):
         if not profiles:
             raise ConfigurationError("Twig needs at least one service profile")
@@ -96,11 +101,13 @@ class Twig(TaskManager):
             train_every=config.train_every,
             gradient_steps=config.gradient_steps,
         )
-        self.agent = BDQAgent(agent_config, rng)
+        self.trace = trace or NULL_SINK
+        self.agent = BDQAgent(agent_config, rng, trace=self.trace, timings=timings)
 
         self._prev_state: Optional[np.ndarray] = None
         self._prev_actions: Optional[List[List[int]]] = None
         self._last_allocations: Dict[str, Allocation] = {}
+        self._last_estimated_power: Dict[str, float] = {}
         self.last_rewards: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
@@ -118,7 +125,8 @@ class Twig(TaskManager):
 
     def update(self, result: StepResult) -> Dict[str, CoreAssignment]:
         state = self._build_state(result)
-        rewards = self._compute_rewards(result)
+        breakdowns = self._compute_rewards(result)
+        rewards = {name: b.total for name, b in breakdowns.items()}
         if self._prev_state is not None and self._prev_actions is not None:
             self.agent.observe(
                 Transition(
@@ -133,11 +141,63 @@ class Twig(TaskManager):
             name: self.action_space.decode(actions[k])
             for k, name in enumerate(self.service_order)
         }
+        if self.trace.enabled:
+            self._emit_decisions(result, breakdowns, allocations)
         self._prev_state = state
         self._prev_actions = actions
         self._last_allocations = allocations
         self.last_rewards = rewards
         return self.mapper.map(allocations)
+
+    def attach_obs(self, trace: Optional[TraceSink], timings: Optional[TimingRegistry]) -> None:
+        """Wire a trace sink / timing registry in after construction.
+
+        The experiment runner uses this so tracing can be switched on for
+        managers built deep inside experiment modules.
+        """
+        if trace is not None:
+            self.trace = trace
+            self.agent.trace = trace
+        if timings is not None:
+            self.agent.timings = timings
+
+    def _emit_decisions(
+        self,
+        result: StepResult,
+        breakdowns: Mapping[str, RewardBreakdown],
+        allocations: Mapping[str, Allocation],
+    ) -> None:
+        """One ``reward`` + one ``action`` event per service for interval t."""
+        epsilon = self.agent.epsilon()
+        for name in self.service_order:
+            breakdown = breakdowns[name]
+            observation = result.observations[name]
+            self.trace.emit(
+                make_event(
+                    "reward",
+                    result.time,
+                    service=name,
+                    reward=breakdown.total,
+                    qos_rew=breakdown.qos_rew,
+                    power_rew=breakdown.power_rew,
+                    violation=breakdown.violation,
+                    measured_qos_ms=observation.p99_ms,
+                    estimated_power_w=self._last_estimated_power.get(name, 0.0),
+                )
+            )
+            allocation = allocations[name]
+            self.trace.emit(
+                make_event(
+                    "action",
+                    result.time,
+                    service=name,
+                    cores=allocation.num_cores,
+                    freq_index=allocation.freq_index,
+                    frequency_ghz=self.spec.dvfs[allocation.freq_index],
+                    llc_ways=allocation.llc_ways,
+                    epsilon=epsilon,
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # internals
@@ -149,12 +209,13 @@ class Twig(TaskManager):
             parts.append(self.monitor.observe(name, observation.pmcs))
         return np.concatenate(parts)
 
-    def _compute_rewards(self, result: StepResult) -> Dict[str, float]:
-        rewards: Dict[str, float] = {}
+    def _compute_rewards(self, result: StepResult) -> Dict[str, RewardBreakdown]:
+        rewards: Dict[str, RewardBreakdown] = {}
         for name in self.service_order:
             observation = result.observations[name]
             estimated = self._estimate_power(name, observation.interval.arrival_rate)
-            rewards[name] = compute_reward(
+            self._last_estimated_power[name] = estimated
+            rewards[name] = reward_components(
                 measured_qos_ms=observation.p99_ms,
                 qos_target_ms=self.qos_targets[name],
                 max_power_w=self.max_power_w,
@@ -232,3 +293,4 @@ class Twig(TaskManager):
         self._prev_state = None
         self._prev_actions = None
         self._last_allocations.pop(old_name, None)
+        self._last_estimated_power.pop(old_name, None)

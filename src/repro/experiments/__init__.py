@@ -10,6 +10,14 @@
 """
 
 from repro.experiments.registry import REGISTRY, get_entry, run_experiment
-from repro.experiments.runner import RunTrace, run_manager
+from repro.experiments.runner import ExperimentRun, RunTrace, run_experiments, run_manager
 
-__all__ = ["REGISTRY", "RunTrace", "get_entry", "run_experiment", "run_manager"]
+__all__ = [
+    "REGISTRY",
+    "ExperimentRun",
+    "RunTrace",
+    "get_entry",
+    "run_experiment",
+    "run_experiments",
+    "run_manager",
+]

@@ -11,14 +11,22 @@ learning phase.
 
 from __future__ import annotations
 
+import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.manager import TaskManager
 from repro.errors import ConfigurationError
 from repro.metrics.qos import qos_guarantee_pct
+from repro.obs.context import ObsContext, activate, current
+from repro.obs.events import make_event
+from repro.obs.manifest import RunManifest, config_hash, git_sha, now_iso
+from repro.obs.sink import JsonlSink, iter_trace
+from repro.obs.summary import summarize_events
 from repro.sim.environment import ColocationEnvironment
 
 
@@ -123,14 +131,28 @@ def run_manager(
     env: ColocationEnvironment,
     steps: int,
     on_step=None,
+    obs: Optional[ObsContext] = None,
 ) -> RunTrace:
     """Drive ``manager`` for ``steps`` control intervals.
 
     ``on_step(t, result)`` is an optional callback (used by experiments to
-    inject service swaps or record custom signals).
+    inject service swaps or record custom signals). ``obs`` wires a
+    structured trace sink and timing registry through the run; when it is
+    omitted the ambient :func:`repro.obs.context.current` context (if any)
+    is used, which is how ``repro run --trace`` reaches runs started deep
+    inside experiment modules.
     """
     if steps <= 0:
         raise ConfigurationError(f"steps must be positive, got {steps}")
+    obs = obs if obs is not None else current()
+    timings = None
+    if obs is not None:
+        env.trace = obs.sink
+        timings = obs.timings
+        attach = getattr(manager, "attach_obs", None)
+        if attach is not None:
+            attach(obs.sink, timings)
+    sink = env.trace
     trace = RunTrace(
         manager_name=manager.name,
         services={
@@ -139,9 +161,28 @@ def run_manager(
         },
         interval_s=env.config.interval_s,
     )
+    if sink.enabled:
+        sink.emit(
+            make_event(
+                "run_start",
+                env.time,
+                manager=manager.name,
+                services=list(env.service_names),
+                steps=steps,
+                interval_s=env.config.interval_s,
+            )
+        )
+    step_timing = timings.get("env.step") if timings is not None else None
+    update_timing = timings.get("manager.update") if timings is not None else None
+    started = time.perf_counter()
     assignments = manager.initial_assignments()
     for t in range(steps):
-        result = env.step(assignments)
+        if step_timing is not None:
+            t0 = time.perf_counter()
+            result = env.step(assignments)
+            step_timing.add(time.perf_counter() - t0)
+        else:
+            result = env.step(assignments)
         for name in env.service_names:
             if name not in trace.services:
                 # A service swap occurred mid-run (transfer-learning runs).
@@ -156,10 +197,138 @@ def run_manager(
         trace.power_w.append(result.socket_power_w)
         trace.true_power_w.append(result.true_power_w)
         trace.membw_utilization.append(result.membw_utilization)
-        assignments = manager.update(result)
+        if update_timing is not None:
+            t0 = time.perf_counter()
+            assignments = manager.update(result)
+            update_timing.add(time.perf_counter() - t0)
+        else:
+            assignments = manager.update(result)
         if on_step is not None:
             maybe_assignments = on_step(t, result)
             if maybe_assignments is not None:
                 assignments = maybe_assignments
+    if sink.enabled:
+        sink.emit(
+            make_event(
+                "run_end",
+                env.time,
+                steps=steps,
+                wall_time_s=time.perf_counter() - started,
+            )
+        )
     trace.migrations = dict(env.machine.migration_counts)
     return trace
+
+
+# ---------------------------------------------------------------------- #
+# experiment batches: manifests, tracing, strict failure handling
+# ---------------------------------------------------------------------- #
+@dataclass
+class ExperimentRun:
+    """Outcome of one experiment inside a batch."""
+
+    experiment_id: str
+    manifest: RunManifest
+    result: Any = None             # the experiment's Result object, None on failure
+
+    @property
+    def ok(self) -> bool:
+        return self.manifest.status == "ok"
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    configs: Optional[Mapping[str, Any]] = None,
+    strict: bool = False,
+    out_dir: Optional[Union[str, Path]] = None,
+    trace: bool = False,
+    validate: bool = False,
+) -> List[ExperimentRun]:
+    """Run a batch of registered experiments, writing one manifest each.
+
+    Per-experiment exceptions are *never* silently swallowed: every
+    failure is recorded in that experiment's manifest (status, error,
+    traceback summary) and reported in the returned list; with
+    ``strict=True`` the first failure re-raises after its manifest is
+    written. With ``trace=True`` each experiment runs under an ambient
+    :class:`ObsContext` whose JSONL sink lands in ``out_dir/<id>/trace.jsonl``
+    and whose summary/timing histograms land in the manifest.
+    """
+    from repro.experiments.registry import run_experiment
+
+    if trace and out_dir is None:
+        raise ConfigurationError("trace=True requires out_dir for the JSONL sinks")
+    configs = configs or {}
+    out_path = Path(out_dir) if out_dir is not None else None
+    # The SHA of the code being run, not of whatever directory the caller
+    # happens to be in.
+    sha = git_sha(Path(__file__).resolve().parent)
+    runs: List[ExperimentRun] = []
+    for experiment_id in experiment_ids:
+        config = configs.get(experiment_id)
+        manifest = RunManifest(
+            experiment_id=experiment_id,
+            seed=getattr(config, "seed", None),
+            config_hash=config_hash(config),
+            config=None if config is None else _config_dict(config),
+            git_sha=sha,
+            started_at=now_iso(),
+        )
+        sink = None
+        obs = None
+        if trace:
+            trace_path = out_path / experiment_id / "trace.jsonl"
+            sink = JsonlSink(trace_path, validate=validate)
+            obs = ObsContext(sink=sink)
+            manifest.trace_path = str(trace_path)
+        started = time.perf_counter()
+        result = None
+        try:
+            if obs is not None:
+                with activate(obs):
+                    result = run_experiment(experiment_id, config)
+            else:
+                result = run_experiment(experiment_id, config)
+            manifest.status = "ok"
+            manifest.summary = {"result_type": type(result).__name__}
+        except Exception as exc:
+            manifest.status = "failed"
+            manifest.error = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            manifest.summary = {}
+            if strict:
+                _finalize_manifest(manifest, sink, obs, started, out_path, experiment_id)
+                runs.append(ExperimentRun(experiment_id, manifest))
+                raise
+        _finalize_manifest(manifest, sink, obs, started, out_path, experiment_id)
+        runs.append(ExperimentRun(experiment_id, manifest, result))
+    return runs
+
+
+def _config_dict(config: Any) -> Optional[Dict[str, Any]]:
+    from repro.obs.manifest import _stable
+
+    stable = _stable(config)
+    return stable if isinstance(stable, dict) else {"value": stable}
+
+
+def _finalize_manifest(
+    manifest: RunManifest,
+    sink: Optional[JsonlSink],
+    obs: Optional[ObsContext],
+    started: float,
+    out_path: Optional[Path],
+    experiment_id: str,
+) -> None:
+    """Close the sink, fold trace + timings in, and write the manifest."""
+    manifest.wall_time_s = time.perf_counter() - started
+    if sink is not None:
+        sink.close()
+        manifest.trace_events = sink.count
+        if manifest.status == "ok" and sink.count:
+            manifest.summary["trace"] = summarize_events(iter_trace(sink.path)).to_dict()
+    if obs is not None:
+        manifest.timings = obs.timings.summary()
+    if out_path is not None:
+        manifest.write(out_path / experiment_id / "manifest.json")

@@ -1,0 +1,69 @@
+"""Observability substrate: structured tracing, manifests, timing hooks.
+
+- :mod:`repro.obs.events` — versioned event schema + validation; the
+  registry is the single source of truth for what a trace may contain.
+- :mod:`repro.obs.sink` — no-op / in-memory / JSONL trace sinks.
+- :mod:`repro.obs.timing` — context-manager timers with aggregated
+  histograms (``env.step``, ``agent.act``, ``agent.train``).
+- :mod:`repro.obs.manifest` — per-run provenance records (config hash,
+  seed, git SHA, wall time, summary metrics, failures).
+- :mod:`repro.obs.summary` — fold a trace back into run-level aggregates.
+- :mod:`repro.obs.context` — ambient sink+timing context the CLI uses to
+  trace experiments it cannot inject into directly.
+
+Instrumented components (:class:`repro.sim.environment.ColocationEnvironment`,
+:class:`repro.rl.agent.BDQAgent`, :class:`repro.core.twig.Twig`) hold
+:data:`NULL_SINK` by default: a disabled emission costs one attribute
+lookup and one branch.
+"""
+
+from repro.obs.context import ObsContext, activate, current
+from repro.obs.events import (
+    ENVELOPE_FIELDS,
+    EVENT_REGISTRY,
+    SCHEMA_VERSION,
+    EventSpec,
+    FieldSpec,
+    make_event,
+    validate_event,
+)
+from repro.obs.manifest import RunManifest, config_hash, git_sha
+from repro.obs.sink import (
+    NULL_SINK,
+    JsonlSink,
+    MemorySink,
+    TraceSink,
+    iter_trace,
+    open_sink,
+    read_trace,
+)
+from repro.obs.summary import TraceSummary, format_summary, summarize_events
+from repro.obs.timing import Timing, TimingRegistry
+
+__all__ = [
+    "ENVELOPE_FIELDS",
+    "EVENT_REGISTRY",
+    "NULL_SINK",
+    "SCHEMA_VERSION",
+    "EventSpec",
+    "FieldSpec",
+    "JsonlSink",
+    "MemorySink",
+    "ObsContext",
+    "RunManifest",
+    "Timing",
+    "TimingRegistry",
+    "TraceSink",
+    "TraceSummary",
+    "activate",
+    "config_hash",
+    "current",
+    "format_summary",
+    "git_sha",
+    "iter_trace",
+    "make_event",
+    "open_sink",
+    "read_trace",
+    "summarize_events",
+    "validate_event",
+]

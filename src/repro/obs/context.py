@@ -1,0 +1,44 @@
+"""Ambient observability context.
+
+Experiment modules build their environments and managers internally, so a
+caller that wants a traced run (``repro run fig07 --trace``) has no seam
+to inject a sink through. The ambient context is that seam: the CLI (or a
+test) activates an :class:`ObsContext`, and :func:`repro.experiments.runner.run_manager`
+picks it up for every run started inside the ``with`` block. Explicit
+``obs=`` arguments always win over the ambient context.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.obs.sink import NULL_SINK, TraceSink
+from repro.obs.timing import TimingRegistry
+
+
+@dataclass
+class ObsContext:
+    """A trace sink plus a timing registry, wired through a run together."""
+
+    sink: TraceSink = NULL_SINK
+    timings: TimingRegistry = field(default_factory=TimingRegistry)
+
+
+_ACTIVE: list = []
+
+
+def current() -> Optional[ObsContext]:
+    """The innermost active context, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def activate(context: ObsContext) -> Iterator[ObsContext]:
+    """Make ``context`` ambient for runs started inside the block."""
+    _ACTIVE.append(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.pop()

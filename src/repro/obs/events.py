@@ -1,0 +1,176 @@
+"""Trace event schema: versioned record types and validation.
+
+Every record a :class:`repro.obs.sink.TraceSink` carries is a flat JSON
+object with three envelope fields — ``ev`` (event type), ``v`` (schema
+version) and ``t`` (the control-interval index, ``-1`` when the event is
+not tied to an interval) — plus the per-type payload fields declared in
+:data:`EVENT_REGISTRY`. The registry is the single source of truth: the
+emitters build events through :func:`make_event`, the validator checks
+arbitrary JSONL lines against it, and ``docs/observability.md`` documents
+it (a test diffs the doc's schema table against this module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Bump when an event type gains/loses/retypes a field.
+SCHEMA_VERSION = 1
+
+#: Envelope fields present on every event.
+ENVELOPE_FIELDS: Dict[str, str] = {"ev": "str", "v": "int", "t": "int"}
+
+_TYPE_CHECKS = {
+    "str": lambda x: isinstance(x, str),
+    "int": lambda x: isinstance(x, int) and not isinstance(x, bool),
+    "float": lambda x: isinstance(x, (int, float)) and not isinstance(x, bool),
+    "bool": lambda x: isinstance(x, bool),
+    "object": lambda x: isinstance(x, dict),
+    "list": lambda x: isinstance(x, list),
+}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One payload field of an event type."""
+
+    name: str
+    type: str                      # one of _TYPE_CHECKS
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPE_CHECKS:
+            raise ConfigurationError(f"unknown field type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Schema for one event type."""
+
+    name: str
+    emitter: str                   # module that emits it (documentation)
+    description: str
+    fields: Tuple[FieldSpec, ...]
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+
+def _spec(name: str, emitter: str, description: str, *fields) -> EventSpec:
+    return EventSpec(name, emitter, description, tuple(FieldSpec(*f) for f in fields))
+
+
+#: Every event type the reproduction emits. Keep docs/observability.md in
+#: sync — test_obs_schema_doc.py diffs the two.
+EVENT_REGISTRY: Dict[str, EventSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "run_start", "repro.experiments.runner",
+            "Emitted once before the first control interval of a run.",
+            ("manager", "str", "Task-manager name (twig-s, twig-c, hipster, ...)"),
+            ("services", "list", "Names of the colocated LC services"),
+            ("steps", "int", "Planned number of control intervals"),
+            ("interval_s", "float", "Control-interval length in seconds"),
+        ),
+        _spec(
+            "interval", "repro.sim.environment",
+            "One environment control interval: per-service observations plus "
+            "socket power and energy.",
+            ("services", "object", "Per-service map: p99_ms, qos_target_ms, "
+                                   "qos_met, arrival_rps, cores, frequency_ghz"),
+            ("power_w", "float", "Noisy RAPL reading for the server socket"),
+            ("true_power_w", "float", "Ground-truth socket power"),
+            ("membw_utilization", "float", "Socket memory-bandwidth utilisation [0, 1+]"),
+            ("energy_j", "float", "Cumulative server-socket energy"),
+        ),
+        _spec(
+            "qos_violation", "repro.sim.environment",
+            "A service missed its p99 target this interval.",
+            ("service", "str", "Violating service name"),
+            ("p99_ms", "float", "Measured tail latency"),
+            ("qos_target_ms", "float", "The service's p99 target"),
+            ("tardiness", "float", "p99_ms / qos_target_ms (> 1)"),
+            ("consecutive", "int", "Length of the current violation streak"),
+        ),
+        _spec(
+            "action", "repro.core.twig",
+            "The allocation Twig chose for one service for the next interval.",
+            ("service", "str", "Service the allocation applies to"),
+            ("cores", "int", "Requested core count"),
+            ("freq_index", "int", "Index into the DVFS ladder"),
+            ("frequency_ghz", "float", "Requested core frequency"),
+            ("llc_ways", "int", "Intel-CAT way quota (0 = unpartitioned)"),
+            ("epsilon", "float", "Exploration rate in force when acting"),
+        ),
+        _spec(
+            "reward", "repro.core.twig",
+            "Equation-1 reward decomposition for one service.",
+            ("service", "str", "Service the reward belongs to"),
+            ("reward", "float", "Total Equation-1 reward"),
+            ("qos_rew", "float", "measured p99 / target (QoS term)"),
+            ("power_rew", "float", "max power / estimated power (0 on violation)"),
+            ("violation", "bool", "Whether the penalty branch applied"),
+            ("measured_qos_ms", "float", "Measured p99 latency"),
+            ("estimated_power_w", "float", "Equation-2 per-service power estimate"),
+        ),
+        _spec(
+            "train_step", "repro.rl.agent",
+            "One minibatch gradient step of the BDQ agent.",
+            ("step", "int", "Agent environment-step count"),
+            ("train_count", "int", "Gradient steps taken so far"),
+            ("loss", "float", "Per-branch-averaged MSE loss"),
+            ("epsilon", "float", "Current exploration rate"),
+            ("beta", "float", "PER importance-sampling exponent (1.0 if uniform)"),
+            ("buffer_size", "int", "Replay-buffer occupancy"),
+            ("mean_td_error", "float", "Mean absolute TD-error of the minibatch"),
+        ),
+        _spec(
+            "run_end", "repro.experiments.runner",
+            "Emitted after the last control interval of a run.",
+            ("steps", "int", "Control intervals actually executed"),
+            ("wall_time_s", "float", "Wall-clock duration of the run loop"),
+        ),
+    )
+}
+
+
+def make_event(ev: str, t: int, **fields: Any) -> Dict[str, Any]:
+    """Build a registry-conformant event dict (envelope + payload)."""
+    event: Dict[str, Any] = {"ev": ev, "v": SCHEMA_VERSION, "t": t}
+    event.update(fields)
+    return event
+
+
+def validate_event(event: Mapping[str, Any]) -> None:
+    """Raise :class:`ConfigurationError` unless ``event`` matches the schema."""
+    for name, type_name in ENVELOPE_FIELDS.items():
+        if name not in event:
+            raise ConfigurationError(f"event missing envelope field {name!r}: {event}")
+        if not _TYPE_CHECKS[type_name](event[name]):
+            raise ConfigurationError(f"envelope field {name!r} is not {type_name}: {event}")
+    if event["v"] != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"event schema version {event['v']} != supported {SCHEMA_VERSION}"
+        )
+    spec = EVENT_REGISTRY.get(event["ev"])
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown event type {event['ev']!r}; known: {sorted(EVENT_REGISTRY)}"
+        )
+    payload = {k for k in event if k not in ENVELOPE_FIELDS}
+    declared = set(spec.field_names())
+    missing = declared - payload
+    if missing:
+        raise ConfigurationError(f"{spec.name} event missing fields {sorted(missing)}")
+    unknown = payload - declared
+    if unknown:
+        raise ConfigurationError(f"{spec.name} event has undeclared fields {sorted(unknown)}")
+    for field in spec.fields:
+        if not _TYPE_CHECKS[field.type](event[field.name]):
+            raise ConfigurationError(
+                f"{spec.name}.{field.name} is not {field.type}: {event[field.name]!r}"
+            )

@@ -1,0 +1,112 @@
+"""Run manifests: one JSON document describing one experiment run.
+
+A manifest records everything needed to interpret (and re-run) a result
+months later: the experiment id, the seed, a stable hash of the exact
+config used, the git commit of the working tree, wall-clock time, summary
+metrics, timing histograms, and — when the run failed — the error. The
+experiment batch runner writes one per experiment; failures are always
+recorded, never silently folded into the aggregate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro import __version__
+from repro.errors import ConfigurationError
+from repro.obs.events import SCHEMA_VERSION
+
+MANIFEST_VERSION = 1
+
+
+def _stable(obj: Any) -> Any:
+    """Reduce an arbitrary config object to JSON-stable primitives."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _stable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _stable(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_stable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def config_hash(config: Any) -> str:
+    """Deterministic short hash of a config (dataclass, dict, or None)."""
+    payload = json.dumps(_stable(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def git_sha(repo_root: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """Current commit of the working tree, or ``None`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """Provenance + outcome record for one experiment run."""
+
+    experiment_id: str
+    status: str = "ok"                     # "ok" | "failed"
+    seed: Optional[int] = None
+    config_hash: str = config_hash(None)
+    config: Optional[Dict[str, Any]] = None
+    git_sha: Optional[str] = None
+    started_at: str = ""
+    wall_time_s: float = 0.0
+    summary: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    timings: Dict[str, Dict[str, float]] = dataclasses.field(default_factory=dict)
+    trace_path: Optional[str] = None
+    trace_events: int = 0
+    error: Optional[str] = None
+    manifest_version: int = MANIFEST_VERSION
+    trace_schema_version: int = SCHEMA_VERSION
+    repro_version: str = __version__
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "failed"):
+            raise ConfigurationError(f"status must be ok|failed, got {self.status!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunManifest":
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"manifest not found: {path}")
+        data = json.loads(path.read_text())
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"manifest has unknown fields {sorted(unknown)}")
+        return cls(**data)
+
+
+def now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")

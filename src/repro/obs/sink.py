@@ -1,0 +1,131 @@
+"""Trace sinks: where emitters send their structured events.
+
+The base :class:`TraceSink` is a *disabled* no-op and is what every
+instrumented component holds by default (:data:`NULL_SINK`), so the hot
+path pays exactly one attribute lookup and branch per potential emission:
+
+    if self.trace.enabled:
+        self.trace.emit(make_event(...))
+
+:class:`MemorySink` collects events in a list (tests, in-process
+analysis); :class:`JsonlSink` appends one JSON object per line to a file
+— the on-disk trace format every ``repro trace`` subcommand consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.events import validate_event
+
+
+class TraceSink:
+    """Disabled no-op sink; base class for real sinks."""
+
+    enabled: bool = False
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover - no-op
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Shared default sink — components must never mutate it.
+NULL_SINK = TraceSink()
+
+
+class MemorySink(TraceSink):
+    """Collects events in memory, optionally validating each one."""
+
+    enabled = True
+
+    def __init__(self, validate: bool = False):
+        self.events: List[Dict[str, Any]] = []
+        self._validate = validate
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._validate:
+            validate_event(event)
+        self.events.append(event)
+
+    def of_type(self, ev: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["ev"] == ev]
+
+
+class JsonlSink(TraceSink):
+    """Appends one compact JSON object per line to ``path``."""
+
+    enabled = True
+
+    def __init__(self, path: Union[str, Path], validate: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+        self._validate = validate
+        self.count = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._validate:
+            validate_event(event)
+        json.dump(event, self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file into a list of event dicts."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"trace file not found: {path}")
+    events = []
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: invalid JSON in trace: {exc}"
+                ) from None
+    return events
+
+
+def iter_trace(path: Union[str, Path]):
+    """Stream events from a JSONL trace file (constant memory)."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"trace file not found: {path}")
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: invalid JSON in trace: {exc}"
+                ) from None
+
+
+def open_sink(path: Optional[Union[str, Path]], validate: bool = False) -> TraceSink:
+    """``None`` -> the shared no-op sink; a path -> a :class:`JsonlSink`."""
+    if path is None:
+        return NULL_SINK
+    return JsonlSink(path, validate=validate)

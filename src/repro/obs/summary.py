@@ -1,0 +1,174 @@
+"""Aggregate a trace event stream into run-level metrics.
+
+This is the single code path that turns raw trace events back into the
+aggregates the paper's evaluation reports (QoS guarantee, mean reward,
+mean/total power). Both ``repro trace summarize`` and the manifest writer
+call :func:`summarize_events`, so a manifest's summary block and a later
+``summarize`` of the same JSONL file agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ServiceSummary:
+    """Per-service aggregates recovered from the trace."""
+
+    intervals: int = 0
+    qos_met: int = 0
+    violations: int = 0
+    max_tardiness: float = 0.0
+    longest_violation_streak: int = 0
+    reward_sum: float = 0.0
+    reward_count: int = 0
+    final_reward: Optional[float] = None
+    mean_cores_sum: float = 0.0
+    mean_freq_sum: float = 0.0
+
+    @property
+    def qos_guarantee_pct(self) -> float:
+        if self.intervals == 0:
+            return 0.0
+        return 100.0 * self.qos_met / self.intervals
+
+    @property
+    def mean_reward(self) -> Optional[float]:
+        if self.reward_count == 0:
+            return None
+        return self.reward_sum / self.reward_count
+
+    @property
+    def mean_cores(self) -> float:
+        return self.mean_cores_sum / self.intervals if self.intervals else 0.0
+
+    @property
+    def mean_frequency_ghz(self) -> float:
+        return self.mean_freq_sum / self.intervals if self.intervals else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace summarize`` prints for one trace file."""
+
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    steps: int = 0
+    manager: Optional[str] = None
+    wall_time_s: Optional[float] = None
+    services: Dict[str, ServiceSummary] = field(default_factory=dict)
+    mean_power_w: float = 0.0
+    final_energy_j: float = 0.0
+    train_steps: int = 0
+    final_loss: Optional[float] = None
+    final_epsilon: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-stable view (stored verbatim in the run manifest).
+
+        Deliberately excludes ``wall_time_s``: given a fixed seed and
+        config the dict is bit-identical across runs, which is what the
+        manifest-determinism guarantee (and its test) relies on.
+        """
+        return {
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "steps": self.steps,
+            "manager": self.manager,
+            "mean_power_w": round(self.mean_power_w, 6),
+            "final_energy_j": round(self.final_energy_j, 6),
+            "train_steps": self.train_steps,
+            "final_loss": self.final_loss,
+            "final_epsilon": self.final_epsilon,
+            "services": {
+                name: {
+                    "intervals": s.intervals,
+                    "qos_guarantee_pct": round(s.qos_guarantee_pct, 6),
+                    "violations": s.violations,
+                    "max_tardiness": round(s.max_tardiness, 6),
+                    "longest_violation_streak": s.longest_violation_streak,
+                    "mean_reward": None if s.mean_reward is None else round(s.mean_reward, 6),
+                    "final_reward": s.final_reward,
+                    "mean_cores": round(s.mean_cores, 6),
+                    "mean_frequency_ghz": round(s.mean_frequency_ghz, 6),
+                }
+                for name, s in sorted(self.services.items())
+            },
+        }
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
+    """Fold a stream of trace events into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    power_sum = 0.0
+    power_count = 0
+    for event in events:
+        ev = event.get("ev")
+        if ev is None:
+            raise ConfigurationError(f"record without an 'ev' field: {event}")
+        summary.event_counts[ev] = summary.event_counts.get(ev, 0) + 1
+        if ev == "run_start":
+            summary.manager = event["manager"]
+        elif ev == "interval":
+            summary.steps += 1
+            power_sum += event["true_power_w"]
+            power_count += 1
+            summary.final_energy_j = event["energy_j"]
+            for name, obs in event["services"].items():
+                service = summary.services.setdefault(name, ServiceSummary())
+                service.intervals += 1
+                service.qos_met += 1 if obs["qos_met"] else 0
+                service.mean_cores_sum += obs["cores"]
+                service.mean_freq_sum += obs["frequency_ghz"]
+        elif ev == "qos_violation":
+            service = summary.services.setdefault(event["service"], ServiceSummary())
+            service.violations += 1
+            service.max_tardiness = max(service.max_tardiness, event["tardiness"])
+            service.longest_violation_streak = max(
+                service.longest_violation_streak, event["consecutive"]
+            )
+        elif ev == "reward":
+            service = summary.services.setdefault(event["service"], ServiceSummary())
+            service.reward_sum += event["reward"]
+            service.reward_count += 1
+            service.final_reward = event["reward"]
+        elif ev == "train_step":
+            summary.train_steps += 1
+            summary.final_loss = event["loss"]
+            summary.final_epsilon = event["epsilon"]
+        elif ev == "run_end":
+            summary.wall_time_s = event["wall_time_s"]
+    if power_count:
+        summary.mean_power_w = power_sum / power_count
+    return summary
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Human-readable report for ``repro trace summarize``."""
+    lines: List[str] = []
+    manager = summary.manager or "(unknown manager)"
+    lines.append(f"trace: {manager}, {summary.steps} intervals")
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(summary.event_counts.items()))
+    lines.append(f"events: {counts}")
+    if summary.wall_time_s is not None:
+        lines.append(f"wall time: {summary.wall_time_s:.2f} s")
+    lines.append(
+        f"socket power: mean {summary.mean_power_w:.1f} W, "
+        f"energy {summary.final_energy_j:.0f} J"
+    )
+    if summary.train_steps:
+        lines.append(
+            f"training: {summary.train_steps} gradient steps, "
+            f"final loss {summary.final_loss:.4f}, final epsilon {summary.final_epsilon:.3f}"
+        )
+    for name, s in sorted(summary.services.items()):
+        reward = "n/a" if s.mean_reward is None else f"{s.mean_reward:.3f}"
+        lines.append(
+            f"{name}: qos {s.qos_guarantee_pct:.1f}% ({s.violations} violations, "
+            f"worst streak {s.longest_violation_streak}, max tardiness "
+            f"{s.max_tardiness:.2f}x), mean reward {reward}, "
+            f"mean cores {s.mean_cores:.1f} @ {s.mean_frequency_ghz:.2f} GHz"
+        )
+    return "\n".join(lines)

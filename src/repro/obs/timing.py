@@ -1,0 +1,105 @@
+"""Context-manager timing hooks with aggregated histograms.
+
+A :class:`TimingRegistry` owns one :class:`Timing` accumulator per label
+(``env.step``, ``agent.act``, ``agent.train``, ...). Measuring is a plain
+``with`` block::
+
+    with timings.measure("env.step"):
+        result = env.step(assignments)
+
+Each accumulator keeps every duration (runs are at most tens of thousands
+of intervals, so this is a few hundred KB), from which ``summary()``
+derives count/mean/p50/p99/max — the histogram block exported alongside
+the run manifest and printed by ``repro trace summarize``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Timing:
+    """Duration accumulator for one label."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.durations_s: List[float] = []
+
+    @property
+    def count(self) -> int:
+        return len(self.durations_s)
+
+    @property
+    def total_s(self) -> float:
+        return float(sum(self.durations_s))
+
+    def add(self, duration_s: float) -> None:
+        self.durations_s.append(duration_s)
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.durations_s:
+            raise ConfigurationError(f"no samples recorded for {self.label!r}")
+        return float(np.percentile(np.asarray(self.durations_s), q) * 1e3)
+
+    def summary(self) -> Dict[str, float]:
+        data = np.asarray(self.durations_s, dtype=np.float64)
+        if data.size == 0:
+            return {"count": 0, "total_s": 0.0}
+        return {
+            "count": int(data.size),
+            "total_s": float(data.sum()),
+            "mean_ms": float(data.mean() * 1e3),
+            "p50_ms": float(np.percentile(data, 50) * 1e3),
+            "p99_ms": float(np.percentile(data, 99) * 1e3),
+            "max_ms": float(data.max() * 1e3),
+        }
+
+
+class TimingRegistry:
+    """Labelled timing accumulators shared across a run."""
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, Timing] = {}
+
+    def get(self, label: str) -> Timing:
+        timing = self.timings.get(label)
+        if timing is None:
+            timing = self.timings[label] = Timing(label)
+        return timing
+
+    @contextmanager
+    def measure(self, label: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.get(label).add(time.perf_counter() - start)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {label: t.summary() for label, t in sorted(self.timings.items())}
+
+    def format_table(self) -> str:
+        """Aligned text table of every timing histogram."""
+        if not self.timings:
+            return "(no timings recorded)"
+        width = max(len(label) for label in self.timings)
+        lines = [
+            f"{'label':<{width}s} {'count':>7s} {'mean ms':>9s} {'p50 ms':>9s} "
+            f"{'p99 ms':>9s} {'max ms':>9s}"
+        ]
+        for label, timing in sorted(self.timings.items()):
+            s = timing.summary()
+            if s["count"] == 0:
+                lines.append(f"{label:<{width}s} {0:>7d}")
+                continue
+            lines.append(
+                f"{label:<{width}s} {s['count']:>7d} {s['mean_ms']:>9.3f} "
+                f"{s['p50_ms']:>9.3f} {s['p99_ms']:>9.3f} {s['max_ms']:>9.3f}"
+            )
+        return "\n".join(lines)

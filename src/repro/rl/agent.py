@@ -20,6 +20,9 @@ from repro.errors import ConfigurationError, ShapeError
 from repro.nn.losses import mse_loss
 from repro.nn.network import load_weights, save_weights
 from repro.nn.optim import Adam
+from repro.obs.events import make_event
+from repro.obs.sink import NULL_SINK, TraceSink
+from repro.obs.timing import TimingRegistry
 from repro.rl.bdq import BDQNetwork
 from repro.rl.prioritized import PrioritizedReplayBuffer
 from repro.rl.replay import ReplayBuffer
@@ -88,9 +91,17 @@ class BDQAgentConfig:
 class BDQAgent:
     """ε-greedy deep Q-learning over a :class:`BDQNetwork`."""
 
-    def __init__(self, config: BDQAgentConfig, rng: np.random.Generator):
+    def __init__(
+        self,
+        config: BDQAgentConfig,
+        rng: np.random.Generator,
+        trace: Optional[TraceSink] = None,
+        timings: Optional[TimingRegistry] = None,
+    ):
         self.config = config
         self._rng = rng
+        self.trace = trace or NULL_SINK
+        self.timings = timings
         self.online = BDQNetwork(
             config.state_dim,
             config.branch_sizes,
@@ -122,6 +133,7 @@ class BDQAgent:
         self.step_count = 0
         self.train_count = 0
         self.last_loss: Optional[float] = None
+        self.last_td_error: Optional[float] = None
         self.exploring_frozen = False
 
     # ------------------------------------------------------------------ #
@@ -148,6 +160,12 @@ class BDQAgent:
         explores in the neighbourhood of the current policy instead, which
         is what lets the branches coordinate.
         """
+        if self.timings is not None:
+            with self.timings.measure("agent.act"):
+                return self._act(state, greedy)
+        return self._act(state, greedy)
+
+    def _act(self, state: np.ndarray, greedy: bool) -> List[List[int]]:
         state = np.asarray(state, dtype=np.float64).reshape(-1)
         if state.shape[0] != self.config.state_dim:
             raise ShapeError(
@@ -228,12 +246,19 @@ class BDQAgent:
 
     def train_step(self) -> float:
         """One minibatch gradient step (Algorithm 1, line 13)."""
+        if self.timings is not None:
+            with self.timings.measure("agent.train"):
+                return self._train_step()
+        return self._train_step()
+
+    def _train_step(self) -> float:
         config = self.config
         if isinstance(self.buffer, PrioritizedReplayBuffer):
             beta = self.beta_schedule(self.step_count)
             batch = self.buffer.sample(config.batch_size, beta=beta)
             weights = batch["weights"]
         else:
+            beta = 1.0
             batch = self.buffer.sample(config.batch_size)
             weights = np.ones(config.batch_size)
 
@@ -290,6 +315,21 @@ class BDQAgent:
 
         self.train_count += 1
         self.last_loss = float(total_loss)
+        self.last_td_error = float(td_error_accum.mean() / self.online.total_branches)
+        if self.trace.enabled:
+            self.trace.emit(
+                make_event(
+                    "train_step",
+                    self.step_count,
+                    step=self.step_count,
+                    train_count=self.train_count,
+                    loss=self.last_loss,
+                    epsilon=self.epsilon(),
+                    beta=float(beta),
+                    buffer_size=len(self.buffer),
+                    mean_td_error=self.last_td_error,
+                )
+            )
         return self.last_loss
 
     # ------------------------------------------------------------------ #

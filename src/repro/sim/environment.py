@@ -17,6 +17,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.errors import AllocationError, ConfigurationError
+from repro.obs.events import make_event
+from repro.obs.sink import NULL_SINK, TraceSink
 from repro.server.machine import CoreAssignment, Machine
 from repro.server.power import PowerModel, RaplSensor
 from repro.server.spec import ServerSpec
@@ -88,6 +90,7 @@ class ColocationEnvironment:
         load_generators: Mapping[str, LoadGenerator],
         rng: np.random.Generator,
         qos_targets: Optional[Mapping[str, float]] = None,
+        trace: Optional[TraceSink] = None,
     ):
         if not profiles:
             raise ConfigurationError("environment needs at least one service")
@@ -122,6 +125,10 @@ class ColocationEnvironment:
         self.load_generators = dict(load_generators)
         self.time = 0
         self.last_result: Optional[StepResult] = None
+        # Trace sink: NULL_SINK unless a run injects one, so the disabled
+        # path costs one attribute lookup and branch per step.
+        self.trace = trace or NULL_SINK
+        self._violation_streaks: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # properties
@@ -212,7 +219,49 @@ class ColocationEnvironment:
             membw_utilization=membw_util,
             energy_j=self.rapl.energy_j,
         )
+        if self.trace.enabled:
+            self._emit_step_events(self.last_result)
         return self.last_result
+
+    def _emit_step_events(self, result: StepResult) -> None:
+        """Emit the ``interval`` event plus any ``qos_violation`` events."""
+        per_service = {}
+        for name, obs in result.observations.items():
+            per_service[name] = {
+                "p99_ms": obs.p99_ms,
+                "qos_target_ms": obs.interval.qos_target_ms,
+                "qos_met": obs.qos_met,
+                "arrival_rps": obs.interval.arrival_rate,
+                "cores": obs.interval.cores,
+                "frequency_ghz": obs.interval.frequency_ghz,
+            }
+            if obs.qos_met:
+                self._violation_streaks[name] = 0
+            else:
+                streak = self._violation_streaks.get(name, 0) + 1
+                self._violation_streaks[name] = streak
+                self.trace.emit(
+                    make_event(
+                        "qos_violation",
+                        result.time,
+                        service=name,
+                        p99_ms=obs.p99_ms,
+                        qos_target_ms=obs.interval.qos_target_ms,
+                        tardiness=obs.tardiness,
+                        consecutive=streak,
+                    )
+                )
+        self.trace.emit(
+            make_event(
+                "interval",
+                result.time,
+                services=per_service,
+                power_w=result.socket_power_w,
+                true_power_w=result.true_power_w,
+                membw_utilization=result.membw_utilization,
+                energy_j=result.energy_j,
+            )
+        )
 
     def _effective_capacities(self, arrivals: Mapping[str, float]) -> Dict[str, float]:
         """Core-equivalents per service with demand-aware timesharing.

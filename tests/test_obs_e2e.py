@@ -1,0 +1,42 @@
+"""End-to-end traced experiment: every emitted JSONL line must validate.
+
+Marked ``trace_e2e`` so CI / ``make trace-e2e`` can run exactly this
+check; it also runs in the default suite because it is tiny.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_experiments
+from repro.obs import RunManifest, summarize_events, validate_event
+
+
+@pytest.mark.trace_e2e
+def test_tiny_traced_experiment_is_fully_schema_valid(tmp_path):
+    from repro.experiments.fig07_learning_curve import Fig07Config
+
+    config = Fig07Config(
+        total_steps=60, bucket=30, twig_epsilon_mid=20, hipster_learning_phase=20
+    )
+    runs = run_experiments(
+        ["fig07"], configs={"fig07": config}, out_dir=tmp_path, trace=True
+    )
+    assert runs[0].ok
+
+    trace_path = tmp_path / "fig07" / "trace.jsonl"
+    events = []
+    with trace_path.open() as handle:
+        for line in handle:
+            event = json.loads(line)      # every line is standalone JSON
+            validate_event(event)         # ... and schema-conformant
+            events.append(event)
+    assert len(events) == runs[0].manifest.trace_events
+
+    # The manifest on disk round-trips and carries the trace's aggregates.
+    manifest = RunManifest.read(tmp_path / "fig07" / "manifest.json")
+    assert manifest.status == "ok"
+    assert manifest.summary["trace"] == summarize_events(events).to_dict()
+    # fig07 runs Twig then Hipster through the same sink: two runs.
+    assert manifest.summary["trace"]["event_counts"]["run_start"] == 2
+    assert manifest.summary["trace"]["steps"] == 2 * config.total_steps

@@ -1,0 +1,113 @@
+"""Schema tests for the trace event registry and validator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    ENVELOPE_FIELDS,
+    EVENT_REGISTRY,
+    SCHEMA_VERSION,
+    make_event,
+    validate_event,
+)
+
+#: One schema-conformant payload per event type, used across the obs tests.
+SAMPLE_PAYLOADS = {
+    "run_start": dict(manager="twig-s", services=["masstree"], steps=10, interval_s=1.0),
+    "interval": dict(
+        services={
+            "masstree": dict(
+                p99_ms=0.5, qos_target_ms=1.0, qos_met=True,
+                arrival_rps=100.0, cores=4.0, frequency_ghz=2.0,
+            )
+        },
+        power_w=55.0, true_power_w=54.0, membw_utilization=0.3, energy_j=100.0,
+    ),
+    "qos_violation": dict(
+        service="masstree", p99_ms=2.0, qos_target_ms=1.0, tardiness=2.0, consecutive=1
+    ),
+    "action": dict(
+        service="masstree", cores=4, freq_index=2, frequency_ghz=1.6,
+        llc_ways=0, epsilon=0.5,
+    ),
+    "reward": dict(
+        service="masstree", reward=1.5, qos_rew=0.5, power_rew=2.0,
+        violation=False, measured_qos_ms=0.5, estimated_power_w=10.0,
+    ),
+    "train_step": dict(
+        step=100, train_count=50, loss=0.25, epsilon=0.5, beta=0.6,
+        buffer_size=1000, mean_td_error=0.1,
+    ),
+    "run_end": dict(steps=10, wall_time_s=1.25),
+}
+
+
+def test_sample_payloads_cover_whole_registry():
+    assert set(SAMPLE_PAYLOADS) == set(EVENT_REGISTRY)
+
+
+@pytest.mark.parametrize("ev", sorted(EVENT_REGISTRY))
+def test_every_event_type_round_trips(ev):
+    event = make_event(ev, 3, **SAMPLE_PAYLOADS[ev])
+    assert event["ev"] == ev
+    assert event["v"] == SCHEMA_VERSION
+    assert event["t"] == 3
+    validate_event(event)
+
+
+def test_envelope_is_stable():
+    assert ENVELOPE_FIELDS == {"ev": "str", "v": "int", "t": "int"}
+
+
+def test_unknown_event_type_rejected():
+    with pytest.raises(ConfigurationError, match="unknown event type"):
+        validate_event({"ev": "nope", "v": SCHEMA_VERSION, "t": 0})
+
+
+def test_missing_field_rejected():
+    event = make_event("run_end", 1, steps=10, wall_time_s=1.0)
+    del event["steps"]
+    with pytest.raises(ConfigurationError, match="missing fields"):
+        validate_event(event)
+
+
+def test_undeclared_field_rejected():
+    event = make_event("run_end", 1, steps=10, wall_time_s=1.0, extra=1)
+    with pytest.raises(ConfigurationError, match="undeclared fields"):
+        validate_event(event)
+
+
+def test_wrong_type_rejected():
+    event = make_event("run_end", 1, steps="ten", wall_time_s=1.0)
+    with pytest.raises(ConfigurationError, match="run_end.steps"):
+        validate_event(event)
+
+
+def test_bool_is_not_an_int():
+    event = make_event("run_end", 1, steps=True, wall_time_s=1.0)
+    with pytest.raises(ConfigurationError, match="run_end.steps"):
+        validate_event(event)
+
+
+def test_int_is_accepted_where_float_declared():
+    validate_event(make_event("run_end", 1, steps=10, wall_time_s=1))
+
+
+def test_wrong_schema_version_rejected():
+    event = make_event("run_end", 1, steps=10, wall_time_s=1.0)
+    event["v"] = SCHEMA_VERSION + 1
+    with pytest.raises(ConfigurationError, match="schema version"):
+        validate_event(event)
+
+
+def test_missing_envelope_rejected():
+    with pytest.raises(ConfigurationError, match="envelope"):
+        validate_event({"ev": "run_end", "steps": 10, "wall_time_s": 1.0})
+
+
+def test_registry_specs_have_documented_fields():
+    for spec in EVENT_REGISTRY.values():
+        assert spec.description
+        assert spec.emitter.startswith("repro.")
+        for field in spec.fields:
+            assert field.description

@@ -1,0 +1,89 @@
+"""docs/observability.md must document exactly the events the code emits.
+
+Parses the "Event schema reference" section of the doc (``### `event` ``
+headings followed by a ``| `field` | type | description |`` table) and
+diffs event names, emitters, field names, and field types against
+``repro.obs.events.EVENT_REGISTRY``. Run via ``make docs-check`` (also
+part of the tier-1 suite).
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.events import EVENT_REGISTRY
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "observability.md"
+
+_HEADING = re.compile(r"^### `([a-z_]+)`\s*$")
+_EMITTER = re.compile(r"^Emitted by `([a-z_.]+)`\.")
+_ROW = re.compile(r"^\| `([a-z0-9_]+)` \| ([a-z]+) \|")
+
+
+def parse_doc_schema(text):
+    """Return {event: {"emitter": str|None, "fields": {name: type}}}."""
+    events = {}
+    current = None
+    in_reference = False
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_reference = line.strip() == "## Event schema reference"
+            current = None
+            continue
+        if not in_reference:
+            continue
+        heading = _HEADING.match(line)
+        if heading:
+            current = {"emitter": None, "fields": {}}
+            events[heading.group(1)] = current
+            continue
+        if current is None:
+            continue
+        emitter = _EMITTER.match(line)
+        if emitter:
+            current["emitter"] = emitter.group(1)
+            continue
+        row = _ROW.match(line)
+        if row:
+            current["fields"][row.group(1)] = row.group(2)
+    return events
+
+
+def test_doc_exists():
+    assert DOC.exists(), "docs/observability.md is missing"
+
+
+def test_doc_documents_every_registered_event():
+    documented = parse_doc_schema(DOC.read_text())
+    assert sorted(documented) == sorted(EVENT_REGISTRY), (
+        "event types in docs/observability.md do not match EVENT_REGISTRY: "
+        f"doc-only={sorted(set(documented) - set(EVENT_REGISTRY))}, "
+        f"code-only={sorted(set(EVENT_REGISTRY) - set(documented))}"
+    )
+
+
+def test_doc_fields_match_registry():
+    documented = parse_doc_schema(DOC.read_text())
+    for name, spec in EVENT_REGISTRY.items():
+        doc = documented[name]
+        code_fields = {f.name: f.type for f in spec.fields}
+        assert doc["fields"] == code_fields, (
+            f"field table for `{name}` in docs/observability.md disagrees "
+            f"with EVENT_REGISTRY: doc={doc['fields']}, code={code_fields}"
+        )
+
+
+def test_doc_emitters_match_registry():
+    documented = parse_doc_schema(DOC.read_text())
+    for name, spec in EVENT_REGISTRY.items():
+        assert documented[name]["emitter"] == spec.emitter, (
+            f"`{name}` emitter in doc is {documented[name]['emitter']!r}, "
+            f"code says {spec.emitter!r}"
+        )
+
+
+def test_parser_actually_found_tables():
+    # Guard against the parser silently matching nothing (which would make
+    # the diff tests vacuous if the doc layout changed).
+    documented = parse_doc_schema(DOC.read_text())
+    assert len(documented) >= 5
+    assert all(ev["fields"] for ev in documented.values())

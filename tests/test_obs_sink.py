@@ -1,0 +1,103 @@
+"""Tests for trace sinks: no-op overhead path, JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import make_event, validate_event
+from repro.obs.sink import (
+    NULL_SINK,
+    JsonlSink,
+    MemorySink,
+    TraceSink,
+    iter_trace,
+    open_sink,
+    read_trace,
+)
+
+from tests.test_obs_events import SAMPLE_PAYLOADS
+
+
+def _sample_events():
+    return [make_event(ev, i, **SAMPLE_PAYLOADS[ev]) for i, ev in enumerate(sorted(SAMPLE_PAYLOADS))]
+
+
+def test_null_sink_is_disabled_and_swallows():
+    assert NULL_SINK.enabled is False
+    NULL_SINK.emit({"anything": 1})  # must be a harmless no-op
+    NULL_SINK.close()
+
+
+def test_disabled_guard_skips_emission_entirely():
+    # The contract every emitter relies on: `if sink.enabled:` around emit.
+    class Exploding(TraceSink):
+        def emit(self, event):  # pragma: no cover - must never run
+            raise AssertionError("emit called on a disabled sink")
+
+    sink = Exploding()
+    if sink.enabled:
+        sink.emit({})
+
+
+def test_memory_sink_collects_and_filters():
+    sink = MemorySink(validate=True)
+    assert sink.enabled
+    for event in _sample_events():
+        sink.emit(event)
+    assert len(sink.events) == len(SAMPLE_PAYLOADS)
+    assert [e["ev"] for e in sink.of_type("run_end")] == ["run_end"]
+
+
+def test_memory_sink_validation_rejects_bad_event():
+    sink = MemorySink(validate=True)
+    with pytest.raises(ConfigurationError):
+        sink.emit({"ev": "bogus", "v": 1, "t": 0})
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(path) as sink:
+        for event in _sample_events():
+            sink.emit(event)
+        assert sink.count == len(SAMPLE_PAYLOADS)
+    events = read_trace(path)
+    assert events == _sample_events()
+    for event in events:
+        validate_event(event)
+    assert list(iter_trace(path)) == events
+
+
+def test_jsonl_lines_are_valid_json(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(path) as sink:
+        for event in _sample_events():
+            sink.emit(event)
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_jsonl_creates_parent_dirs(tmp_path):
+    path = tmp_path / "a" / "b" / "trace.jsonl"
+    with JsonlSink(path) as sink:
+        sink.emit(make_event("run_end", 1, steps=1, wall_time_s=0.1))
+    assert path.exists()
+
+
+def test_read_trace_missing_file():
+    with pytest.raises(ConfigurationError, match="not found"):
+        read_trace("/nonexistent/trace.jsonl")
+
+
+def test_read_trace_rejects_corrupt_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"ev":"run_end","v":1,"t":1}\nnot json\n')
+    with pytest.raises(ConfigurationError, match="invalid JSON"):
+        read_trace(path)
+
+
+def test_open_sink_dispatch(tmp_path):
+    assert open_sink(None) is NULL_SINK
+    sink = open_sink(tmp_path / "t.jsonl")
+    assert isinstance(sink, JsonlSink)
+    sink.close()

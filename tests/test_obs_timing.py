@@ -1,0 +1,61 @@
+"""Tests for the timing registry and its histograms."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.timing import Timing, TimingRegistry
+
+
+def test_measure_records_durations():
+    registry = TimingRegistry()
+    for _ in range(5):
+        with registry.measure("env.step"):
+            pass
+    timing = registry.get("env.step")
+    assert timing.count == 5
+    assert timing.total_s >= 0.0
+
+
+def test_measure_records_on_exception():
+    registry = TimingRegistry()
+    with pytest.raises(ValueError):
+        with registry.measure("env.step"):
+            raise ValueError("boom")
+    assert registry.get("env.step").count == 1
+
+
+def test_summary_statistics():
+    timing = Timing("x")
+    for d in (0.001, 0.002, 0.003, 0.004):
+        timing.add(d)
+    s = timing.summary()
+    assert s["count"] == 4
+    assert s["total_s"] == pytest.approx(0.010)
+    assert s["mean_ms"] == pytest.approx(2.5)
+    assert s["p50_ms"] == pytest.approx(2.5)
+    assert s["max_ms"] == pytest.approx(4.0)
+    assert s["p50_ms"] <= s["p99_ms"] <= s["max_ms"]
+
+
+def test_empty_summary_and_percentile_guard():
+    timing = Timing("x")
+    assert timing.summary() == {"count": 0, "total_s": 0.0}
+    with pytest.raises(ConfigurationError):
+        timing.percentile_ms(50)
+
+
+def test_registry_summary_and_table():
+    registry = TimingRegistry()
+    with registry.measure("agent.act"):
+        pass
+    with registry.measure("env.step"):
+        pass
+    summary = registry.summary()
+    assert list(summary) == ["agent.act", "env.step"]  # sorted
+    table = registry.format_table()
+    assert "agent.act" in table and "env.step" in table
+    assert "p99 ms" in table
+
+
+def test_empty_registry_table():
+    assert "no timings" in TimingRegistry().format_table()

@@ -1,0 +1,89 @@
+"""CLI tests for ``repro trace`` against the golden trace fixture."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_trace, summarize_events
+
+GOLDEN = str(Path(__file__).parent / "data" / "golden_trace.jsonl")
+
+
+def test_golden_fixture_aggregates():
+    summary = summarize_events(read_trace(GOLDEN))
+    assert summary.manager == "twig-s"
+    assert summary.steps == 4
+    assert summary.train_steps == 1
+    assert summary.final_loss == pytest.approx(0.5)
+    assert summary.mean_power_w == pytest.approx(50.0)
+    assert summary.final_energy_j == pytest.approx(200.0)
+    masstree = summary.services["masstree"]
+    assert masstree.qos_guarantee_pct == pytest.approx(75.0)
+    assert masstree.violations == 1
+    assert masstree.longest_violation_streak == 1
+    assert masstree.mean_reward == pytest.approx((2.0 + 1.0 - 3.375 + 3.0) / 4)
+    assert masstree.final_reward == pytest.approx(3.0)
+    assert masstree.mean_cores == pytest.approx(4.0)
+
+
+def test_summarize_prints_aggregates(capsys):
+    assert main(["trace", "summarize", GOLDEN]) == 0
+    out = capsys.readouterr().out
+    assert "twig-s, 4 intervals" in out
+    assert "qos 75.0%" in out
+    assert "1 violations" in out
+    assert "mean reward 0.656" in out
+
+
+def test_summarize_json_matches_summary(capsys):
+    assert main(["trace", "summarize", GOLDEN, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    expected = summarize_events(read_trace(GOLDEN)).to_dict()
+    assert data == expected
+
+
+def test_tail_prints_last_events(capsys):
+    assert main(["trace", "tail", GOLDEN, "-n", "2"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[-1])["ev"] == "run_end"
+
+
+def test_tail_filters_by_type(capsys):
+    assert main(["trace", "tail", GOLDEN, "--type", "reward"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 4
+    assert all(json.loads(line)["ev"] == "reward" for line in lines)
+
+
+def test_export_csv_flattens_intervals(tmp_path, capsys):
+    out = tmp_path / "intervals.csv"
+    assert main(["trace", "export-csv", GOLDEN, "--type", "interval", "-o", str(out)]) == 0
+    import csv
+
+    with out.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4
+    assert rows[0]["services.masstree.p99_ms"] == "0.8"
+    assert rows[-1]["energy_j"] == "200.0"
+
+
+def test_export_csv_unknown_type_fails(capsys):
+    assert main(["trace", "export-csv", GOLDEN, "--type", "nope"]) == 1
+
+
+def test_report_renders_curve_and_timeline(capsys):
+    assert main(["trace", "report", GOLDEN, "--bucket", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Learning curve" in out
+    assert "Violation timeline (1 episodes)" in out
+    assert "masstree" in out
+
+
+def test_summarize_missing_file_is_clean_cli_error(capsys):
+    assert main(["trace", "summarize", "/nonexistent.jsonl"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: trace file not found")
+    assert "Traceback" not in err

@@ -1,0 +1,77 @@
+"""Unit tests for the trace report renderer."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.trace_report import (
+    learning_curve,
+    longest_episode,
+    render_report,
+    violation_episodes,
+)
+from repro.errors import ConfigurationError
+from repro.obs import read_trace
+from repro.obs.events import make_event
+
+GOLDEN = str(Path(__file__).parent / "data" / "golden_trace.jsonl")
+
+
+def _violation(t, service, consecutive, tardiness=1.5):
+    return make_event(
+        "qos_violation", t, service=service, p99_ms=tardiness,
+        qos_target_ms=1.0, tardiness=tardiness, consecutive=consecutive,
+    )
+
+
+def test_violation_episodes_grouping():
+    events = [
+        _violation(3, "a", 1, 1.2),
+        _violation(4, "a", 2, 2.0),
+        _violation(4, "b", 1, 1.1),
+        _violation(9, "a", 1, 1.4),
+    ]
+    episodes = violation_episodes(events)
+    assert [(e.service, e.start, e.end) for e in episodes] == [
+        ("a", 3, 4), ("b", 4, 4), ("a", 9, 9),
+    ]
+    assert episodes[0].length == 2
+    assert episodes[0].peak_tardiness == pytest.approx(2.0)
+
+
+def test_longest_episode_selection():
+    events = [
+        _violation(3, "a", 1), _violation(4, "a", 2),
+        _violation(9, "b", 1),
+    ]
+    worst = longest_episode(events)
+    assert (worst.service, worst.length) == ("a", 2)
+    assert longest_episode(events, service="b").start == 9
+    assert longest_episode(events, service="c") is None
+
+
+def test_learning_curve_buckets():
+    curve = learning_curve(read_trace(GOLDEN), bucket=2)
+    assert curve["step"] == [2.0, 4.0]
+    assert curve["reward"] == [pytest.approx(1.5), pytest.approx(-0.1875)]
+    assert curve["qos_pct"] == [pytest.approx(100.0), pytest.approx(50.0)]
+
+
+def test_learning_curve_requires_intervals():
+    with pytest.raises(ConfigurationError, match="no interval"):
+        learning_curve([_violation(1, "a", 1)])
+
+
+def test_render_report_from_path_and_events():
+    from_path = render_report(GOLDEN, bucket=2)
+    from_events = render_report(read_trace(GOLDEN), bucket=2)
+    assert from_path == from_events
+    assert "Learning curve" in from_path
+    assert "peak tardiness 1.50x" in from_path
+
+
+def test_render_report_empty_trace(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ConfigurationError, match="empty"):
+        render_report(empty)

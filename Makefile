@@ -4,9 +4,11 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test trace-e2e bench docs-check
+.PHONY: test trace-e2e bench bench-smoke docs-check
 
 ## Tier-1: the full unit/property/integration suite (excludes -m slow).
+## Includes tests/test_repo_hygiene.py, which fails if bytecode, caches,
+## or build artifacts are ever tracked by git again.
 test:
 	$(PYTEST) -x -q
 
@@ -22,3 +24,8 @@ docs-check:
 ## Paper-artifact benchmarks at quick scale.
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## Harness perf smoke: serial vs --jobs batch running, looped vs batched
+## PER sampling; appends measured speedups to BENCH_perf_smoke.json.
+bench-smoke:
+	$(PYTEST) benchmarks/test_perf_smoke.py -q -s

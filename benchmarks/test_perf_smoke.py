@@ -1,0 +1,147 @@
+"""Perf smoke benchmarks: parallel batch runner and batched PER sampling.
+
+Unlike the paper-artifact benchmarks, these measure the *harness itself*:
+
+- serial ``run_experiments`` vs the same batch with ``jobs`` workers;
+- the per-transition Python sampling loop (the pre-vectorization
+  implementation, kept here as a reference) vs the batched
+  ``PrioritizedReplayBuffer.sample`` / ``SumTree.find_batch`` path.
+
+Each test appends its measurement to ``BENCH_perf_smoke.json`` at the repo
+root so the performance trajectory is recorded across PRs. Run via
+``make bench-smoke``. Assertions are deliberately lenient (no-regression
+smoke, not a rigorous benchmark): they only require the fast path not to be
+slower than the slow one by more than measurement noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.runner import run_experiments
+from repro.rl.prioritized import PrioritizedReplayBuffer
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_perf_smoke.json"
+
+
+def _record(name: str, metrics: dict) -> None:
+    data = {"schema": 1, "benchmarks": {}}
+    if BENCH_PATH.exists():
+        data = json.loads(BENCH_PATH.read_text())
+    metrics["recorded_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    data["benchmarks"][name] = metrics
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _looped_sample(buffer: PrioritizedReplayBuffer, batch_size: int, beta: float):
+    """Reference one-transition-at-a-time sampler (pre-vectorization)."""
+    total = buffer._tree.total
+    segment = total / batch_size
+    indices = np.empty(batch_size, dtype=np.int64)
+    priorities = np.empty(batch_size)
+    for i in range(batch_size):
+        mass = segment * i + buffer._rng.random() * segment
+        leaf = buffer._tree.find(mass)
+        indices[i] = leaf
+        priorities[i] = buffer._tree[leaf]
+    probabilities = priorities / total
+    weights = (len(buffer) * probabilities) ** (-beta)
+    weights /= weights.max()
+    batch = buffer.gather(indices)
+    batch["weights"] = weights
+    return batch
+
+
+def _fill(capacity: int, size: int) -> PrioritizedReplayBuffer:
+    rng = np.random.default_rng(0)
+    buffer = PrioritizedReplayBuffer(capacity, rng)
+    transition = {"state": np.zeros(11), "reward": np.array(0.0)}
+    for _ in range(size):
+        buffer.add(transition)
+    buffer.update_priorities(
+        np.arange(size), np.random.default_rng(1).random(size) * 3
+    )
+    return buffer
+
+
+def test_batched_per_sampling_vs_loop():
+    size, batch_size, rounds = 16_384, 64, 200
+    looped_buffer = _fill(size, size)
+    batched_buffer = _fill(size, size)
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        _looped_sample(looped_buffer, batch_size, beta=0.6)
+    looped_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        batched_buffer.sample(batch_size, beta=0.6)
+    batched_s = time.perf_counter() - t0
+
+    speedup = looped_s / batched_s
+    print(
+        f"\nPER sample({batch_size}) x {rounds} @ buffer {size}: "
+        f"looped {looped_s:.3f}s, batched {batched_s:.3f}s, {speedup:.1f}x"
+    )
+    _record(
+        "per_sample_batched",
+        {
+            "buffer_size": size,
+            "batch_size": batch_size,
+            "rounds": rounds,
+            "looped_s": round(looped_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup > 1.0, f"batched sampling slower than the loop ({speedup:.2f}x)"
+
+
+def test_parallel_runner_vs_serial(tmp_path):
+    ids = ["tab03", "fig04", "tab02", "mem"]  # slowest first helps scheduling
+    jobs = 4
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+
+    # Warm the experiment-module imports so neither timed run pays them.
+    run_experiments(["mem"], out_dir=tmp_path / "warmup")
+
+    t0 = time.perf_counter()
+    serial = run_experiments(ids, out_dir=tmp_path / "serial")
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_experiments(ids, out_dir=tmp_path / "parallel", jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    assert all(r.ok for r in serial) and all(r.ok for r in parallel)
+    for s, p in zip(serial, parallel):
+        assert s.manifest.comparable_dict() == p.manifest.comparable_dict()
+
+    speedup = serial_s / parallel_s
+    print(
+        f"\nrun_experiments({len(ids)} experiments): serial {serial_s:.2f}s, "
+        f"--jobs {jobs} {parallel_s:.2f}s, {speedup:.1f}x"
+    )
+    _record(
+        "run_experiments_jobs",
+        {
+            "experiments": ids,
+            "jobs": jobs,
+            "cpus": cpus,
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(speedup, 2),
+        },
+    )
+    # On a single-core box parallelism can only add overhead; just bound
+    # it. With real cores, require the batch not to lose to serial.
+    floor = 0.9 if cpus and cpus > 1 else 0.6
+    assert speedup > floor, f"parallel batch slower than serial ({speedup:.2f}x)"

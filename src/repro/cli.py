@@ -5,6 +5,7 @@ Subcommands
 - ``list``               — show every reproducible paper artifact.
 - ``run <id>...``        — run one or more experiments and print their
   tables (``--scale quick|default|paper`` picks the step budget;
+  ``--jobs N`` dispatches the batch to N worker processes;
   ``--trace`` records a JSONL trace + manifest per experiment under
   ``--out-dir``; ``--strict`` re-raises the first failure instead of
   recording it and continuing).
@@ -124,6 +125,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         out_dir=out_dir,
         trace=args.trace,
         validate=args.validate,
+        jobs=args.jobs,
     )
     failed = 0
     for run in runs:
@@ -294,6 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--validate", action="store_true",
         help="schema-validate every trace event as it is emitted (slower)",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiments in N worker processes; results, manifests and "
+             "traces are identical to a serial run modulo timing fields",
     )
     run_parser.set_defaults(func=cmd_run)
 

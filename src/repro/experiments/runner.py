@@ -11,8 +11,11 @@ learning phase.
 
 from __future__ import annotations
 
+import hashlib
+import random
 import time
 import traceback
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
@@ -243,6 +246,7 @@ def run_experiments(
     out_dir: Optional[Union[str, Path]] = None,
     trace: bool = False,
     validate: bool = False,
+    jobs: int = 1,
 ) -> List[ExperimentRun]:
     """Run a batch of registered experiments, writing one manifest each.
 
@@ -253,57 +257,118 @@ def run_experiments(
     written. With ``trace=True`` each experiment runs under an ambient
     :class:`ObsContext` whose JSONL sink lands in ``out_dir/<id>/trace.jsonl``
     and whose summary/timing histograms land in the manifest.
-    """
-    from repro.experiments.registry import run_experiment
 
+    ``jobs > 1`` dispatches the experiments to a pool of worker processes.
+    Each worker writes its own manifest and JSONL sink (no file is ever
+    shared between processes), the global RNGs are re-seeded per experiment
+    from a stable hash of ``(experiment_id, config)`` in both the serial
+    and parallel paths, and results come back in ``experiment_ids`` order,
+    so a parallel batch is equivalent to the serial one modulo timing
+    fields (:meth:`repro.obs.manifest.RunManifest.comparable_dict`). Under
+    ``strict=True`` the first failure (in submission order) cancels any
+    not-yet-started experiments and re-raises after its manifest is
+    written.
+    """
     if trace and out_dir is None:
         raise ConfigurationError("trace=True requires out_dir for the JSONL sinks")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     configs = configs or {}
     out_path = Path(out_dir) if out_dir is not None else None
     # The SHA of the code being run, not of whatever directory the caller
-    # happens to be in.
+    # happens to be in. Resolved once, here, so workers never shell out.
     sha = git_sha(Path(__file__).resolve().parent)
-    runs: List[ExperimentRun] = []
-    for experiment_id in experiment_ids:
-        config = configs.get(experiment_id)
-        manifest = RunManifest(
-            experiment_id=experiment_id,
-            seed=getattr(config, "seed", None),
-            config_hash=config_hash(config),
-            config=None if config is None else _config_dict(config),
-            git_sha=sha,
-            started_at=now_iso(),
-        )
-        sink = None
-        obs = None
-        if trace:
-            trace_path = out_path / experiment_id / "trace.jsonl"
-            sink = JsonlSink(trace_path, validate=validate)
-            obs = ObsContext(sink=sink)
-            manifest.trace_path = str(trace_path)
-        started = time.perf_counter()
-        result = None
+    if jobs == 1 or len(experiment_ids) <= 1:
+        return [
+            _run_single(
+                experiment_id, configs.get(experiment_id), sha, out_path,
+                trace, validate, reraise=strict,
+            )
+            for experiment_id in experiment_ids
+        ]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(experiment_ids))) as pool:
+        futures = [
+            pool.submit(
+                _run_single, experiment_id, configs.get(experiment_id), sha,
+                out_path, trace, validate, strict,
+            )
+            for experiment_id in experiment_ids
+        ]
         try:
-            if obs is not None:
-                with activate(obs):
-                    result = run_experiment(experiment_id, config)
-            else:
+            # Collect in submission order: deterministic result ordering,
+            # and under strict the first failure in that order wins.
+            return [future.result() for future in futures]
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+
+def _experiment_seed(experiment_id: str, config: Any) -> int:
+    """Stable per-experiment seed for the global RNG streams."""
+    payload = f"{experiment_id}:{config_hash(config)}".encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:4], "little")
+
+
+def _run_single(
+    experiment_id: str,
+    config: Any,
+    sha: Optional[str],
+    out_path: Optional[Path],
+    trace: bool,
+    validate: bool,
+    reraise: bool,
+) -> ExperimentRun:
+    """Run one experiment end to end: seed, run, finalize its manifest.
+
+    Runs either inline (serial batches) or inside a pool worker — the
+    manifest and trace sink are always written by the process that ran the
+    experiment, so parallel batches never share a file handle.
+    """
+    from repro.experiments.registry import run_experiment
+
+    manifest = RunManifest(
+        experiment_id=experiment_id,
+        seed=getattr(config, "seed", None),
+        config_hash=config_hash(config),
+        config=None if config is None else _config_dict(config),
+        git_sha=sha,
+        started_at=now_iso(),
+    )
+    sink = None
+    obs = None
+    if trace:
+        trace_path = out_path / experiment_id / "trace.jsonl"
+        sink = JsonlSink(trace_path, validate=validate)
+        obs = ObsContext(sink=sink)
+        manifest.trace_path = str(trace_path)
+    # Experiments draw from generators seeded by their configs, but anything
+    # that falls back to the global streams must behave identically whether
+    # the batch ran serially or across workers — and must not depend on
+    # which experiments ran before it in the batch.
+    seed = _experiment_seed(experiment_id, config)
+    random.seed(seed)
+    np.random.seed(seed)
+    started = time.perf_counter()
+    result = None
+    try:
+        if obs is not None:
+            with activate(obs):
                 result = run_experiment(experiment_id, config)
-            manifest.status = "ok"
-            manifest.summary = {"result_type": type(result).__name__}
-        except Exception as exc:
-            manifest.status = "failed"
-            manifest.error = "".join(
-                traceback.format_exception_only(type(exc), exc)
-            ).strip()
-            manifest.summary = {}
-            if strict:
-                _finalize_manifest(manifest, sink, obs, started, out_path, experiment_id)
-                runs.append(ExperimentRun(experiment_id, manifest))
-                raise
-        _finalize_manifest(manifest, sink, obs, started, out_path, experiment_id)
-        runs.append(ExperimentRun(experiment_id, manifest, result))
-    return runs
+        else:
+            result = run_experiment(experiment_id, config)
+        manifest.status = "ok"
+        manifest.summary = {"result_type": type(result).__name__}
+    except Exception as exc:
+        manifest.status = "failed"
+        manifest.error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        manifest.summary = {}
+        if reraise:
+            _finalize_manifest(manifest, sink, obs, started, out_path, experiment_id)
+            raise
+    _finalize_manifest(manifest, sink, obs, started, out_path, experiment_id)
+    return ExperimentRun(experiment_id, manifest, result)
 
 
 def _config_dict(config: Any) -> Optional[Dict[str, Any]]:

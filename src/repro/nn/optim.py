@@ -19,6 +19,15 @@ class Optimizer:
     def __init__(self, parameters: List[Parameter], max_grad_norm: Optional[float] = None):
         if not parameters:
             raise ConfigurationError("optimizer requires at least one parameter")
+        if max_grad_norm is not None and not (
+            np.isfinite(max_grad_norm) and max_grad_norm > 0
+        ):
+            # A non-positive threshold used to silently disable clipping,
+            # which hid misconfigurations; pass None to opt out explicitly.
+            raise ConfigurationError(
+                f"max_grad_norm must be positive (or None to disable clipping), "
+                f"got {max_grad_norm}"
+            )
         self.parameters = list(parameters)
         self.max_grad_norm = max_grad_norm
 
@@ -29,7 +38,7 @@ class Optimizer:
     def _clip_gradients(self) -> float:
         """Clip the global gradient norm in place; returns the pre-clip norm."""
         total = float(np.sqrt(sum(float(np.sum(p.grad * p.grad)) for p in self.parameters)))
-        if self.max_grad_norm is not None and total > self.max_grad_norm > 0:
+        if self.max_grad_norm is not None and total > self.max_grad_norm:
             factor = self.max_grad_norm / (total + 1e-12)
             for param in self.parameters:
                 param.grad *= factor

@@ -86,8 +86,24 @@ class RunManifest:
         if self.status not in ("ok", "failed"):
             raise ConfigurationError(f"status must be ok|failed, got {self.status!r}")
 
+    #: Fields that legitimately differ between two runs of the same
+    #: experiment at the same code version (wall clock, scheduling).
+    TIMING_FIELDS = ("started_at", "wall_time_s", "timings")
+
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
+
+    def comparable_dict(self) -> Dict[str, Any]:
+        """The manifest minus timing fields.
+
+        Serial and parallel batch runs of the same experiment must agree on
+        this view; equivalence tests (and users diffing runs) compare it
+        instead of the raw file.
+        """
+        data = self.to_dict()
+        for name in self.TIMING_FIELDS:
+            data.pop(name, None)
+        return data
 
     def write(self, path: Union[str, Path]) -> Path:
         path = Path(path)

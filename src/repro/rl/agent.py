@@ -236,13 +236,7 @@ class BDQAgent:
 
     def _unflatten_actions(self, flat: np.ndarray) -> List[np.ndarray]:
         """Split a (batch, total_branches) action matrix into per-branch columns."""
-        columns: List[np.ndarray] = []
-        offset = 0
-        for agent in self.online.branch_sizes:
-            for _ in agent:
-                columns.append(flat[:, offset].astype(np.int64))
-                offset += 1
-        return columns
+        return list(np.asarray(flat, dtype=np.int64).T)
 
     def train_step(self) -> float:
         """One minibatch gradient step (Algorithm 1, line 13)."""
@@ -254,13 +248,14 @@ class BDQAgent:
     def _train_step(self) -> float:
         config = self.config
         if isinstance(self.buffer, PrioritizedReplayBuffer):
+            # One batched tree descent + gather; no per-transition Python loop.
             beta = self.beta_schedule(self.step_count)
             batch = self.buffer.sample(config.batch_size, beta=beta)
             weights = batch["weights"]
         else:
             beta = 1.0
             batch = self.buffer.sample(config.batch_size)
-            weights = np.ones(config.batch_size)
+            weights = np.ones(len(batch["indices"]))
 
         states = batch["state"]
         next_states = batch["next_state"]

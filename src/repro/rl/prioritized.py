@@ -50,16 +50,17 @@ class PrioritizedReplayBuffer(ReplayBuffer):
             raise ConfigurationError("cannot sample from an empty replay buffer")
         if not 0.0 <= beta <= 1.0:
             raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
         total = self._tree.total
         segment = total / batch_size
-        indices = np.empty(batch_size, dtype=np.int64)
-        priorities = np.empty(batch_size)
-        for i in range(batch_size):
-            mass = segment * i + self._rng.random() * segment
-            leaf = self._tree.find(mass)
-            indices[i] = leaf
-            priorities[i] = max(self._tree[leaf], self.eps ** self.alpha)
-        probabilities = priorities / total
+        masses = (np.arange(batch_size) + self._rng.random(batch_size)) * segment
+        indices = self._tree.find_batch(masses)
+        # IS weights must come from the same priorities the tree sampled
+        # with; clamping them (the old eps**alpha floor) made the weight
+        # disagree with the true sampling probability for low-priority
+        # leaves. ``find_batch`` never returns a zero-priority leaf.
+        probabilities = self._tree.priorities(indices) / total
         weights = (len(self) * probabilities) ** (-beta)
         weights /= weights.max()
         batch = self.gather(indices)
@@ -67,8 +68,9 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         return batch
 
     def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
-        """Set new priorities from absolute TD errors."""
-        for index, error in zip(np.asarray(indices), np.asarray(td_errors)):
-            priority = float(abs(error)) + self.eps
-            self._max_priority = max(self._max_priority, priority)
-            self._tree.update(int(index), priority ** self.alpha)
+        """Set new priorities from absolute TD errors (one batched update)."""
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        priorities = np.abs(np.asarray(td_errors, dtype=np.float64).reshape(-1)) + self.eps
+        if priorities.size:
+            self._max_priority = max(self._max_priority, float(priorities.max()))
+        self._tree.update_batch(indices, priorities ** self.alpha)

@@ -4,6 +4,12 @@ This is the classic data structure underlying proportional prioritised
 experience replay: leaves hold per-transition priorities, internal nodes
 hold subtree sums, and sampling walks down from the root following a
 uniform draw over the total mass.
+
+Besides the scalar :meth:`SumTree.find` / :meth:`SumTree.update` pair, the
+tree exposes batched counterparts (:meth:`SumTree.find_batch`,
+:meth:`SumTree.update_batch`) that descend/propagate one whole tree level
+per numpy operation, so sampling a minibatch costs O(log n) array ops
+instead of O(batch * log n) Python steps.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ class SumTree:
         self._leaf_count = 1
         while self._leaf_count < self.capacity:
             self._leaf_count *= 2
+        self._depth = self._leaf_count.bit_length() - 1
         self._tree = np.zeros(2 * self._leaf_count)
 
     @property
@@ -39,6 +46,19 @@ class SumTree:
     def _check_leaf(self, leaf: int) -> None:
         if not 0 <= leaf < self.capacity:
             raise IndexError(f"leaf {leaf} out of range [0, {self.capacity})")
+
+    def _check_leaves(self, leaves: np.ndarray) -> np.ndarray:
+        leaves = np.asarray(leaves, dtype=np.int64).reshape(-1)
+        if leaves.size and not (0 <= leaves.min() and leaves.max() < self.capacity):
+            raise IndexError(
+                f"leaves {leaves[(leaves < 0) | (leaves >= self.capacity)]} "
+                f"out of range [0, {self.capacity})"
+            )
+        return leaves
+
+    def priorities(self, leaves: np.ndarray) -> np.ndarray:
+        """Vectorised read of many leaf priorities at once."""
+        return self._tree[self._leaf_count + self._check_leaves(leaves)]
 
     def update(self, leaf: int, priority: float) -> None:
         """Set the priority of a leaf and propagate sums to the root."""
@@ -69,3 +89,57 @@ class SumTree:
                 mass -= left_sum
                 node = left + 1
         return node - self._leaf_count
+
+    # ------------------------------------------------------------------ #
+    # batched operations
+    # ------------------------------------------------------------------ #
+    def update_batch(self, leaves: np.ndarray, priorities: np.ndarray) -> None:
+        """Set many leaf priorities and re-propagate sums level by level.
+
+        Equivalent to a sequential loop of :meth:`update` calls: duplicate
+        leaves keep the last priority in the batch. Internal sums are
+        recomputed from their children rather than delta-adjusted, so
+        duplicates cannot double-count.
+        """
+        leaves = self._check_leaves(leaves)
+        priorities = np.asarray(priorities, dtype=np.float64).reshape(-1)
+        if priorities.shape != leaves.shape:
+            raise ConfigurationError(
+                f"got {leaves.size} leaves but {priorities.size} priorities"
+            )
+        if priorities.size == 0:
+            return
+        if not np.all(np.isfinite(priorities)) or priorities.min() < 0:
+            raise ConfigurationError(
+                "priorities must be finite and >= 0, got "
+                f"{priorities[~(np.isfinite(priorities) & (priorities >= 0))]}"
+            )
+        nodes = self._leaf_count + leaves
+        self._tree[nodes] = priorities
+        parents = np.unique(nodes >> 1)
+        while parents.size and parents[0] >= 1:
+            children = parents << 1
+            self._tree[parents] = self._tree[children] + self._tree[children + 1]
+            parents = np.unique(parents >> 1)
+
+    def find_batch(self, masses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`find`: one leaf per entry of ``masses``.
+
+        All lookups descend in lockstep, one tree level per iteration, so
+        the cost is O(log capacity) numpy operations for the whole batch.
+        """
+        if self.total <= 0:
+            raise ConfigurationError("cannot sample from an all-zero sum tree")
+        masses = np.clip(np.asarray(masses, dtype=np.float64).reshape(-1), 0.0, self.total)
+        nodes = np.ones(masses.shape, dtype=np.int64)
+        for _ in range(self._depth):
+            left = nodes << 1
+            left_sum = self._tree[left]
+            right_sum = self._tree[left + 1]
+            # Mirror the scalar descent: an empty left subtree forces right,
+            # an empty right subtree (zero-padded tail) forces left, else
+            # split on the left subtree's mass.
+            go_left = (left_sum > 0.0) & ((right_sum <= 0.0) | (masses <= left_sum))
+            masses = np.where(go_left | (left_sum <= 0.0), masses, masses - left_sum)
+            nodes = np.where(go_left, left, left + 1)
+        return nodes - self._leaf_count

@@ -40,3 +40,16 @@ def test_config_for_scales():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_jobs_flag_parses():
+    args = build_parser().parse_args(["run", "mem", "tab02", "--jobs", "4"])
+    assert args.jobs == 4
+    assert build_parser().parse_args(["run", "mem"]).jobs == 1
+
+
+def test_run_parallel_batch_prints_both_tables(capsys, tmp_path):
+    assert main(["run", "mem", "tab02", "--jobs", "2", "--out-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "== mem (ok) ==" in out
+    assert "== tab02 (ok) ==" in out

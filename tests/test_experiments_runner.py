@@ -5,7 +5,8 @@ import pytest
 
 from repro.baselines import StaticManager
 from repro.errors import ConfigurationError
-from repro.experiments.runner import run_manager
+from repro.experiments.runner import run_experiments, run_manager
+from repro.obs.manifest import RunManifest
 from repro.server.spec import ServerSpec
 from repro.services.loadgen import ConstantLoad
 from repro.services.profiles import get_profile
@@ -73,6 +74,68 @@ def test_steps_must_be_positive():
 def test_migrations_recorded():
     trace = run_manager(StaticManager(["masstree"]), _env(), 5)
     assert trace.migrations["masstree"] == 18
+
+
+# ---------------------------------------------------------------------- #
+# parallel experiment batches
+# ---------------------------------------------------------------------- #
+def test_parallel_batch_matches_serial(tmp_path):
+    ids = ["mem", "tab02"]
+    serial = run_experiments(ids, out_dir=tmp_path / "serial")
+    parallel = run_experiments(ids, out_dir=tmp_path / "par", jobs=2)
+    # Deterministic result ordering: input order, not completion order.
+    assert [r.experiment_id for r in parallel] == ids
+    for s, p in zip(serial, parallel):
+        assert s.ok and p.ok
+        assert s.manifest.comparable_dict() == p.manifest.comparable_dict()
+    # The on-disk manifests (written from the workers) agree too.
+    for experiment_id in ids:
+        a = RunManifest.read(tmp_path / "serial" / experiment_id / "manifest.json")
+        b = RunManifest.read(tmp_path / "par" / experiment_id / "manifest.json")
+        assert a.comparable_dict() == b.comparable_dict()
+
+
+def test_parallel_failures_recorded_not_swallowed(tmp_path, monkeypatch):
+    import repro.experiments.registry as registry
+
+    def exploding(experiment_id, config=None):
+        raise RuntimeError("kaboom")
+
+    monkeypatch.setattr(registry, "run_experiment", exploding)
+    runs = run_experiments(["mem", "tab02"], out_dir=tmp_path, jobs=2)
+    assert [r.ok for r in runs] == [False, False]
+    for run in runs:
+        assert "kaboom" in run.manifest.error
+        assert (tmp_path / run.experiment_id / "manifest.json").exists()
+
+
+def test_parallel_strict_reraises_and_writes_manifest(tmp_path, monkeypatch):
+    import repro.experiments.registry as registry
+
+    def exploding(experiment_id, config=None):
+        raise RuntimeError("kaboom")
+
+    monkeypatch.setattr(registry, "run_experiment", exploding)
+    with pytest.raises(RuntimeError, match="kaboom"):
+        run_experiments(["mem", "tab02"], out_dir=tmp_path, strict=True, jobs=2)
+    # The failing experiment's manifest lands before the re-raise.
+    manifest = RunManifest.read(tmp_path / "mem" / "manifest.json")
+    assert manifest.status == "failed"
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        run_experiments(["mem"], jobs=0)
+
+
+def test_parallel_traces_are_per_worker_files(tmp_path):
+    ids = ["mem", "tab02"]
+    runs = run_experiments(ids, out_dir=tmp_path, trace=True, jobs=2)
+    for run in runs:
+        assert run.ok
+        trace_path = tmp_path / run.experiment_id / "trace.jsonl"
+        assert str(trace_path) == run.manifest.trace_path
+        assert trace_path.exists()
 
 
 def test_to_csv_roundtrip(tmp_path):

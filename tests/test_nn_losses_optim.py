@@ -98,6 +98,38 @@ def test_gradient_clipping_bounds_norm(rng):
     assert total == pytest.approx(1.0, rel=1e-6)
 
 
+def test_gradient_clipping_no_clip_branch(rng):
+    """Gradients already under the threshold pass through untouched, and
+    the pre-clip norm is still reported."""
+    layer = Dense(2, 2, rng)
+    opt = SGD(layer.parameters(), learning_rate=0.1, max_grad_norm=100.0)
+    layer.weight.grad[...] = 0.5
+    layer.bias.grad[...] = 0.5
+    before = [p.grad.copy() for p in opt.parameters]
+    norm = opt._clip_gradients()
+    expected = np.sqrt(sum(float(np.sum(g ** 2)) for g in before))
+    assert norm == pytest.approx(expected)
+    for param, grad in zip(opt.parameters, before):
+        assert np.array_equal(param.grad, grad)
+
+
+def test_nonpositive_max_grad_norm_rejected(rng):
+    """Regression: max_grad_norm <= 0 used to silently disable clipping
+    instead of being rejected at construction."""
+    layer = Dense(2, 2, rng)
+    for bad in (0.0, -1.0, float("nan"), float("inf")):
+        with pytest.raises(ConfigurationError):
+            SGD(layer.parameters(), learning_rate=0.1, max_grad_norm=bad)
+        with pytest.raises(ConfigurationError):
+            Adam(layer.parameters(), max_grad_norm=bad)
+    # None still means "no clipping", explicitly.
+    opt = SGD(layer.parameters(), learning_rate=0.1, max_grad_norm=None)
+    layer.weight.grad[...] = 100.0
+    layer.bias.grad[...] = 100.0
+    opt._clip_gradients()
+    assert np.all(layer.weight.grad == 100.0)
+
+
 def test_optimizer_validation(rng):
     layer = Dense(2, 2, rng)
     with pytest.raises(ConfigurationError):

@@ -53,6 +53,30 @@ def test_manifest_round_trip(tmp_path):
     assert loaded == manifest
 
 
+def test_comparable_dict_drops_only_timing_fields():
+    a = RunManifest(
+        experiment_id="fig07",
+        started_at="2026-08-06T00:00:00+00:00",
+        wall_time_s=1.5,
+        timings={"env.step": {"count": 10, "total_s": 0.1}},
+    )
+    b = RunManifest(
+        experiment_id="fig07",
+        started_at="2026-08-06T09:99:99+00:00",
+        wall_time_s=9.9,
+        timings={"env.step": {"count": 10, "total_s": 0.9}},
+    )
+    # Same run modulo timing: comparable views agree, raw dicts do not.
+    assert a.comparable_dict() == b.comparable_dict()
+    assert a.to_dict() != b.to_dict()
+    for field in RunManifest.TIMING_FIELDS:
+        assert field not in a.comparable_dict()
+        assert field in a.to_dict()
+    # A substantive difference still shows up.
+    c = RunManifest(experiment_id="fig07", status="failed", error="boom")
+    assert a.comparable_dict() != c.comparable_dict()
+
+
 def test_manifest_rejects_bad_status():
     with pytest.raises(ConfigurationError):
         RunManifest(experiment_id="x", status="partial")

@@ -1,0 +1,64 @@
+"""Guard against re-committing bytecode, caches, and build artifacts.
+
+The seed tree shipped 66 tracked ``__pycache__/*.pyc`` files; this test
+(part of the default ``make test`` path) fails if any tracked path ever
+matches those patterns again, and checks that ``.gitignore`` keeps
+ignoring them.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Substring/suffix patterns no tracked file may match.
+FORBIDDEN_PARTS = ("__pycache__", ".pytest_cache", ".egg-info", ".hypothesis")
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo")
+
+#: Patterns .gitignore must cover so the artifacts never show up as
+#: untracked noise either.
+REQUIRED_IGNORES = ("__pycache__/", ".pytest_cache/", "*.egg-info/", "build/", "dist/")
+
+
+def _tracked_files():
+    if not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    try:
+        out = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git unavailable")
+    if out.returncode != 0:
+        pytest.skip(f"git ls-files failed: {out.stderr.strip()}")
+    return out.stdout.splitlines()
+
+
+def test_no_tracked_bytecode_or_build_artifacts():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if any(part in path.split("/") or part in path for part in FORBIDDEN_PARTS)
+        or path.endswith(FORBIDDEN_SUFFIXES)
+    ]
+    assert offenders == [], f"artifact files are tracked by git: {offenders[:10]}"
+
+
+def test_gitignore_covers_artifact_patterns():
+    gitignore = REPO_ROOT / ".gitignore"
+    assert gitignore.exists(), "repository must have a root .gitignore"
+    lines = {line.strip() for line in gitignore.read_text().splitlines()}
+    missing = [pattern for pattern in REQUIRED_IGNORES if pattern not in lines]
+    assert missing == [], f".gitignore is missing {missing}"
+
+
+def test_pycod_pattern_covers_pyc():
+    # *.py[cod] is the conventional spelling; make sure it (or *.pyc) is there.
+    lines = (REPO_ROOT / ".gitignore").read_text()
+    assert "*.py[cod]" in lines or "*.pyc" in lines

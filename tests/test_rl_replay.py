@@ -98,6 +98,90 @@ def test_per_alpha_validation(rng):
         PrioritizedReplayBuffer(4, rng, alpha=2.0)
 
 
+def test_per_weights_match_true_sampling_probabilities(rng):
+    """Regression: IS weights must come from the priorities the tree sampled
+    with. The old code clamped them to ``eps ** alpha``, so a leaf whose
+    actual priority sat below the clamp got a weight inconsistent with its
+    true sampling probability."""
+    buffer = PrioritizedReplayBuffer(8, rng, alpha=1.0, eps=1e-4)
+    for value in range(8):
+        buffer.add(_transition(float(value)))
+    # Force every leaf's priority below eps ** alpha (bypassing the eps
+    # floor update_priorities applies): under the old clamp all sampled
+    # priorities collapsed to the same floor value, so the weights came out
+    # uniform even though the true sampling probabilities span 100x.
+    buffer._tree.update_batch(np.arange(8), np.linspace(1e-9, 1e-7, 8))
+    batch = buffer.sample(512, beta=1.0)
+    indices = batch["indices"].astype(int)
+    probabilities = buffer._tree.priorities(indices) / buffer._tree.total
+    # At beta = 1 the unnormalised weight is 1 / (N * p), so w * p must be
+    # constant across the batch: E[w * indicator(i)] consistency.
+    products = batch["weights"] * probabilities
+    assert products.max() == pytest.approx(products.min(), rel=1e-9)
+
+
+def test_per_expected_weighted_indicator_is_uniform(rng):
+    """E_p[w(i) * 1{i = j}] = w_j p_j must be equal for every stored j, i.e.
+    importance weighting exactly undoes the prioritised sampling bias."""
+    buffer = PrioritizedReplayBuffer(4, rng, alpha=0.8)
+    for value in range(4):
+        buffer.add(_transition(float(value)))
+    buffer.update_priorities(np.arange(4), np.array([0.01, 0.5, 1.0, 7.0]))
+    batch = buffer.sample(2048, beta=1.0)
+    indices = batch["indices"].astype(int)
+    total = buffer._tree.total
+    expectations = np.zeros(4)
+    for j in range(4):
+        mask = indices == j
+        # Empirical E[w * indicator(j)] -- mean over the batch.
+        expectations[j] = batch["weights"][mask].sum() / len(indices)
+    # Each should estimate w_j * p_j, identical across j; Monte-Carlo
+    # stratified sampling keeps the spread tight.
+    assert expectations.max() < 1.35 * expectations.min()
+
+
+def test_per_sample_smaller_buffer_than_batch(rng):
+    buffer = PrioritizedReplayBuffer(16, rng)
+    for value in range(3):
+        buffer.add(_transition(float(value)))
+    batch = buffer.sample(8, beta=0.7)
+    assert batch["state"].shape == (8, 3)
+    assert batch["weights"].shape == (8,)
+    assert set(batch["indices"].astype(int)) <= {0, 1, 2}
+    assert batch["weights"].max() == pytest.approx(1.0)
+
+
+def test_per_update_priorities_batched_matches_scalar(rng):
+    a = PrioritizedReplayBuffer(8, np.random.default_rng(0))
+    b = PrioritizedReplayBuffer(8, np.random.default_rng(0))
+    for value in range(8):
+        a.add(_transition(float(value)))
+        b.add(_transition(float(value)))
+    errors = np.linspace(0.0, 3.0, 8)
+    a.update_priorities(np.arange(8), errors)
+    for index, error in zip(np.arange(8), errors):
+        priority = float(abs(error)) + b.eps
+        b._max_priority = max(b._max_priority, priority)
+        b._tree.update(int(index), priority ** b.alpha)
+    assert np.allclose(a._tree._tree, b._tree._tree)
+    assert a._max_priority == b._max_priority
+
+
+def test_per_batch_size_validation(rng):
+    buffer = PrioritizedReplayBuffer(4, rng)
+    buffer.add(_transition(0.0))
+    with pytest.raises(ConfigurationError):
+        buffer.sample(0)
+
+
+def test_uniform_sample_smaller_buffer_than_batch(rng):
+    buffer = ReplayBuffer(16, rng)
+    for value in range(3):
+        buffer.add(_transition(float(value)))
+    batch = buffer.sample(10)
+    assert batch["state"].shape == (10, 3)
+
+
 def test_per_alpha_zero_is_uniform(rng):
     buffer = PrioritizedReplayBuffer(4, rng, alpha=0.0)
     for value in range(4):

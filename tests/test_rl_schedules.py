@@ -34,6 +34,23 @@ def test_piecewise_paper_epsilon():
     assert eps(100_000) == pytest.approx(0.01)
 
 
+def test_piecewise_exactly_on_knot_boundaries():
+    """Every knot — first, interior, last — must evaluate to exactly its
+    own value, with the step just before/after interpolating on the correct
+    segment (no off-by-one at segment joins)."""
+    knots = [(0, 1.0), (100, 0.5), (300, 0.2), (1_000, 0.01)]
+    sched = PiecewiseSchedule(knots)
+    for step, value in knots:
+        assert sched(step) == pytest.approx(value)
+    # One step either side of an interior knot interpolates on the
+    # adjacent segments, not across the knot.
+    assert sched(99) == pytest.approx(0.5 + (1.0 - 0.5) / 100)
+    assert sched(101) == pytest.approx(0.5 - (0.5 - 0.2) / 200)
+    # Clamping at the outer knots.
+    assert sched(-1) == 1.0
+    assert sched(1_001) == 0.01
+
+
 def test_piecewise_requires_increasing_knots():
     with pytest.raises(ConfigurationError):
         PiecewiseSchedule([(10, 1.0), (10, 0.5)])

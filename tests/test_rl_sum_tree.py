@@ -74,6 +74,75 @@ def test_total_equals_sum_of_priorities(priorities):
     assert tree.total == pytest.approx(sum(priorities), abs=1e-9)
 
 
+# ---------------------------------------------------------------------- #
+# edge cases the batched implementations must preserve
+# ---------------------------------------------------------------------- #
+def test_find_with_mass_equal_total_and_zero_padding():
+    # Capacity 5 pads the leaf level to 8 with trailing zero leaves; a draw
+    # of exactly the total mass must land on the last *positive* leaf, never
+    # a padded one.
+    tree = SumTree(5)
+    for leaf in range(5):
+        tree.update(leaf, 1.0 + leaf)
+    assert tree.find(tree.total) == 4
+    assert tree.find_batch(np.array([tree.total]))[0] == 4
+    # Same with the last real leaf zeroed out.
+    tree.update(4, 0.0)
+    assert tree.find(tree.total) == 3
+    assert tree.find_batch(np.array([tree.total]))[0] == 3
+
+
+def test_find_batch_matches_scalar_find():
+    rng = np.random.default_rng(5)
+    for capacity in (1, 3, 8, 21):
+        tree = SumTree(capacity)
+        priorities = rng.random(capacity) * (rng.random(capacity) < 0.7)
+        priorities[0] = max(priorities[0], 0.01)  # keep the tree non-empty
+        tree.update_batch(np.arange(capacity), priorities)
+        masses = np.concatenate([rng.random(64) * tree.total, [0.0, tree.total]])
+        expected = np.array([tree.find(float(m)) for m in masses])
+        assert np.array_equal(tree.find_batch(masses), expected)
+
+
+def test_update_batch_matches_sequential_updates():
+    rng = np.random.default_rng(6)
+    sequential, batched = SumTree(13), SumTree(13)
+    leaves = rng.integers(0, 13, size=40)
+    priorities = rng.random(40) * 9
+    for leaf, priority in zip(leaves, priorities):
+        sequential.update(int(leaf), float(priority))
+    batched.update_batch(leaves, priorities)
+    # Duplicate leaves: last write wins in both, sums agree everywhere.
+    assert np.allclose(sequential._tree, batched._tree)
+
+
+def test_update_batch_validation():
+    tree = SumTree(4)
+    with pytest.raises(IndexError):
+        tree.update_batch(np.array([0, 4]), np.array([1.0, 1.0]))
+    with pytest.raises(ConfigurationError):
+        tree.update_batch(np.array([0]), np.array([-1.0]))
+    with pytest.raises(ConfigurationError):
+        tree.update_batch(np.array([0]), np.array([float("nan")]))
+    with pytest.raises(ConfigurationError):
+        tree.update_batch(np.array([0, 1]), np.array([1.0]))
+    tree.update_batch(np.array([], dtype=np.int64), np.array([]))  # no-op
+    tree.update(0, 2.0)
+    assert tree.total == pytest.approx(2.0)
+
+
+def test_find_batch_on_empty_tree_raises():
+    with pytest.raises(ConfigurationError):
+        SumTree(4).find_batch(np.array([0.5]))
+
+
+def test_capacity_one_batched_ops():
+    tree = SumTree(1)
+    tree.update_batch(np.array([0]), np.array([3.0]))
+    assert tree.total == pytest.approx(3.0)
+    assert tree.find_batch(np.array([0.0, 1.5, 3.0])).tolist() == [0, 0, 0]
+
+
 @settings(max_examples=50)
 @given(
     priorities=st.lists(

@@ -95,12 +95,77 @@ def learning_curve(
     return {"step": steps, "reward": reward_series, "qos_pct": qos_series}
 
 
+def render_timings(timings: Dict[str, Dict[str, float]]) -> str:
+    """Render timing histograms as a tree of sections and sub-sections.
+
+    A label ``a.b.c`` is shown indented under ``a.b`` when that parent
+    label was also measured, with its share of the parent's total time —
+    this is how the train-step breakdown (``agent.train.forward`` /
+    ``.backward`` / ``.optim`` / ``.replay`` inside ``agent.train``)
+    surfaces in ``repro trace report``.
+    """
+    if not timings:
+        return "(no timings recorded)"
+    measured = set(timings)
+
+    def parent_of(label: str) -> Optional[str]:
+        parts = label.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in measured:
+                return candidate
+        return None
+
+    children: Dict[str, List[str]] = {}
+    roots: List[str] = []
+    for label in timings:
+        parent = parent_of(label)
+        if parent is None:
+            roots.append(label)
+        else:
+            children.setdefault(parent, []).append(label)
+
+    by_total = lambda label: -timings[label].get("total_s", 0.0)
+    width = max(len(label) for label in timings) + 2
+    lines = [
+        f"  {'section':<{width}s} {'count':>7s} {'total s':>9s} {'mean ms':>9s} "
+        f"{'p99 ms':>9s} {'share':>7s}"
+    ]
+
+    def emit(label: str, depth: int, parent_total: Optional[float]) -> None:
+        s = timings[label]
+        total = s.get("total_s", 0.0)
+        shown = ("  " * depth) + label
+        if not s.get("count"):
+            lines.append(f"  {shown:<{width}s} {0:>7d}")
+        else:
+            share = (
+                f"{100.0 * total / parent_total:6.1f}%"
+                if parent_total and depth else f"{'':7s}"
+            )
+            lines.append(
+                f"  {shown:<{width}s} {s['count']:>7d} {total:>9.3f} "
+                f"{s['mean_ms']:>9.3f} {s['p99_ms']:>9.3f} {share}"
+            )
+        for child in sorted(children.get(label, []), key=by_total):
+            emit(child, depth + 1, total)
+
+    for root in sorted(roots, key=by_total):
+        emit(root, 0, None)
+    return "\n".join(lines)
+
+
 def render_report(
     trace: Union[str, Path, Sequence[Dict[str, Any]]],
     bucket: int = 0,
     max_episodes: int = 20,
+    timings: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> str:
-    """Full text report: learning curve + violation timeline."""
+    """Full text report: learning curve + violation timeline.
+
+    ``timings`` (a manifest's timing-histogram block) appends a timing
+    section rendered by :func:`render_timings`.
+    """
     events = read_trace(trace) if isinstance(trace, (str, Path)) else list(trace)
     if not events:
         raise ConfigurationError("trace is empty")
@@ -137,6 +202,10 @@ def render_report(
             f"{episode.length:>5d} intervals, peak tardiness "
             f"{episode.peak_tardiness:.2f}x"
         )
+    if timings:
+        lines.append("")
+        lines.append("Timings")
+        lines.append(render_timings(timings))
     return "\n".join(lines)
 
 

@@ -263,9 +263,25 @@ def cmd_trace_export_csv(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.analysis.trace_report import render_report
 
-    print(render_report(args.trace_file, bucket=args.bucket))
+    timings = None
+    if not args.no_timings:
+        manifest_path = (
+            Path(args.manifest)
+            if args.manifest
+            else Path(args.trace_file).parent / "manifest.json"
+        )
+        if manifest_path.exists():
+            from repro.obs.manifest import RunManifest
+
+            timings = RunManifest.read(manifest_path).timings
+        elif args.manifest:
+            print(f"error: manifest {manifest_path} not found", file=sys.stderr)
+            return 1
+    print(render_report(args.trace_file, bucket=args.bucket, timings=timings))
     return 0
 
 
@@ -299,8 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="run experiments in N worker processes; results, manifests and "
-             "traces are identical to a serial run modulo timing fields",
+        help="run experiments in up to N worker processes (clamped to the "
+             "machine's cpu count); results, manifests and traces are "
+             "identical to a serial run modulo timing fields",
     )
     run_parser.set_defaults(func=cmd_run)
 
@@ -339,10 +356,18 @@ def build_parser() -> argparse.ArgumentParser:
     export.set_defaults(func=cmd_trace_export_csv)
 
     report = trace_sub.add_parser(
-        "report", help="learning curve + violation timeline"
+        "report", help="learning curve + violation timeline + timings"
     )
     report.add_argument("trace_file")
     report.add_argument("--bucket", type=int, default=0, help="bucket size (0 = auto)")
+    report.add_argument(
+        "--manifest", default=None,
+        help="manifest.json whose timing histograms to include "
+             "(default: auto-discover next to the trace file)",
+    )
+    report.add_argument(
+        "--no-timings", action="store_true", help="omit the timings section"
+    )
     report.set_defaults(func=cmd_trace_report)
     return parser
 

@@ -12,6 +12,7 @@ learning phase.
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 import time
 import traceback
@@ -259,12 +260,17 @@ def run_experiments(
     and whose summary/timing histograms land in the manifest.
 
     ``jobs > 1`` dispatches the experiments to a pool of worker processes.
-    Each worker writes its own manifest and JSONL sink (no file is ever
-    shared between processes), the global RNGs are re-seeded per experiment
-    from a stable hash of ``(experiment_id, config)`` in both the serial
-    and parallel paths, and results come back in ``experiment_ids`` order,
-    so a parallel batch is equivalent to the serial one modulo timing
-    fields (:meth:`repro.obs.manifest.RunManifest.comparable_dict`). Under
+    The effective worker count is ``min(jobs, os.cpu_count(),
+    len(experiment_ids))`` — asking for more workers than cores only adds
+    scheduling overhead (CPU-bound experiments cannot overlap), so on a
+    single-core box any ``jobs`` value degrades gracefully to the serial
+    path. Each worker writes its own manifest and JSONL sink (no file is
+    ever shared between processes), the global RNGs are re-seeded per
+    experiment from a stable hash of ``(experiment_id, config)`` in both
+    the serial and parallel paths, and results come back in
+    ``experiment_ids`` order, so a parallel batch is equivalent to the
+    serial one modulo timing fields
+    (:meth:`repro.obs.manifest.RunManifest.comparable_dict`). Under
     ``strict=True`` the first failure (in submission order) cancels any
     not-yet-started experiments and re-raises after its manifest is
     written.
@@ -278,7 +284,8 @@ def run_experiments(
     # The SHA of the code being run, not of whatever directory the caller
     # happens to be in. Resolved once, here, so workers never shell out.
     sha = git_sha(Path(__file__).resolve().parent)
-    if jobs == 1 or len(experiment_ids) <= 1:
+    effective_jobs = min(jobs, os.cpu_count() or 1, max(len(experiment_ids), 1))
+    if effective_jobs == 1 or len(experiment_ids) <= 1:
         return [
             _run_single(
                 experiment_id, configs.get(experiment_id), sha, out_path,
@@ -286,7 +293,7 @@ def run_experiments(
             )
             for experiment_id in experiment_ids
         ]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(experiment_ids))) as pool:
+    with ProcessPoolExecutor(max_workers=effective_jobs) as pool:
         futures = [
             pool.submit(
                 _run_single, experiment_id, configs.get(experiment_id), sha,

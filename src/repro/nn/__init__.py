@@ -22,7 +22,8 @@ Example
 ...     opt.zero_grad()
 """
 
-from repro.nn.initializers import glorot_uniform, he_uniform, zeros
+from repro.nn.batched import BatchedDense, HeadBank
+from repro.nn.initializers import glorot_uniform, he_uniform, init_stack, zeros
 from repro.nn.layers import Dense, Dropout, Layer, Parameter, ReLU, Sequential
 from repro.nn.losses import huber_loss, mse_loss
 from repro.nn.network import MLP, load_weights, save_weights
@@ -30,8 +31,10 @@ from repro.nn.optim import SGD, Adam, Optimizer
 
 __all__ = [
     "Adam",
+    "BatchedDense",
     "Dense",
     "Dropout",
+    "HeadBank",
     "Layer",
     "MLP",
     "Optimizer",
@@ -42,6 +45,7 @@ __all__ = [
     "glorot_uniform",
     "he_uniform",
     "huber_loss",
+    "init_stack",
     "load_weights",
     "mse_loss",
     "save_weights",

@@ -1,0 +1,645 @@
+"""Fused multi-head layers: :class:`BatchedDense` and :class:`HeadBank`.
+
+The BDQ topology evaluates many small, structurally identical heads over
+one shared input: K state-value heads plus one advantage branch per action
+dimension, each ``Dense(trunk_out, hidden) -> ReLU (-> Dropout) ->
+Dense(hidden, n)``. Looping over those heads in Python issues one tiny
+GEMM per head per layer — the dominant cost of ``BDQAgent.train_step``.
+
+This module stores every head's weights in one ``(in, H, out)`` tensor
+whose flattened ``(in, H*out)`` view turns the shared-input case into a
+*single* large GEMM per layer (forward, weight gradient, and the
+summed-over-heads input gradient are each one ``@``), with a broadcast
+``np.matmul`` fallback for stacked per-head inputs. Stacked activations
+are batch-major ``(batch, H, out)`` so the flattened views are contiguous.
+
+Compatibility contract
+----------------------
+:class:`BatchedDense` *adopts* existing :class:`~repro.nn.layers.Dense`
+layers: their current values are copied into the stack and each layer's
+``Parameter.value`` / ``Parameter.grad`` are rebound to **views** into
+the stacked storage. The per-head ``Dense`` objects therefore keep
+working exactly as before — ``parameters()`` ordering, shapes, the
+``save_weights``/``load_weights`` ``.npz`` format, in-place target-network
+sync, and per-head introspection in tests are all unchanged — while the
+hot path runs fused over the stacks the views alias. ``stack_parameters``
+additionally exposes the whole stack as a handful of fused
+:class:`Parameter` objects so an optimizer can update all heads in a few
+large elementwise passes instead of one small pass per head parameter.
+
+Ragged output widths (advantage branches with different action counts)
+are zero-padded to the widest head; padded weight columns are initialised
+to zero, receive zero gradient (incoming gradients are masked), and are
+invisible through the per-head parameter views, so they stay exactly zero
+forever — in particular fused optimizer updates leave them untouched
+(zero gradient means zero Adam/SGD step, elementwise).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.initializers import he_uniform
+from repro.nn.layers import Dense, Dropout, Layer, Parameter, ReLU, Sequential
+
+
+def exact_inverse(scale: float) -> Optional[float]:
+    """``1/scale`` when dividing by ``scale`` is *exactly* multiplying by it.
+
+    True precisely when ``scale`` is a power of two: both the division and
+    the multiplication then round the same real value, for every float64
+    input (including subnormals and infinities). Returns ``None`` otherwise
+    so callers keep the division.
+    """
+    if scale <= 0.0 or not np.isfinite(scale):
+        return None
+    return 1.0 / scale if math.frexp(scale)[0] == 0.5 else None
+
+
+class ScratchPool:
+    """Keyed, persistently reused scratch buffers for per-step temporaries.
+
+    Freshly allocating a multi-hundred-kilobyte activation or mask every
+    step is surprisingly expensive: arrays past the allocator's cache are
+    ``mmap``'d and every page is soft-faulted on first touch, which can
+    cost more than the arithmetic that fills the buffer. Keying buffers by
+    purpose returns the same resident memory on every step once shapes
+    stabilise (a buffer is reallocated only when its shape or dtype
+    changes). Callers own the lifetime discipline: a pooled buffer is
+    valid until the next request for the same key.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def get(
+        self,
+        key: str,
+        shape: Tuple[int, ...],
+        dtype: type = np.float64,
+    ) -> np.ndarray:
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = self._buffers[key] = np.empty(shape, dtype)
+        return buf
+
+
+def _stack_param(name: str, value: np.ndarray, grad: np.ndarray) -> Parameter:
+    """A Parameter aliasing stacked storage (value/grad are not copied)."""
+    param = Parameter(name, value)
+    assert param.value is value  # asarray on a float64 array is a no-op
+    param.grad = grad
+    return param
+
+
+class BatchedDense(Layer):
+    """``H`` dense heads evaluated together from ``(in, H, out)`` storage.
+
+    Parameters
+    ----------
+    heads:
+        The per-head :class:`Dense` layers to adopt. All heads must share
+        ``in_features``; ``out_features`` may differ (ragged heads are
+        zero-padded to the widest).
+    """
+
+    def __init__(self, heads: Sequence[Dense], name: str = "batched_dense"):
+        heads = list(heads)
+        if not heads:
+            raise ConfigurationError("BatchedDense needs at least one head")
+        in_features = heads[0].in_features
+        for head in heads:
+            if head.in_features != in_features:
+                raise ConfigurationError(
+                    f"all heads must share in_features; got "
+                    f"{[h.in_features for h in heads]}"
+                )
+        self.name = name
+        self.heads = heads
+        self.num_heads = len(heads)
+        self.in_features = in_features
+        self.out_sizes = np.array([h.out_features for h in heads], dtype=np.int64)
+        self.out_max = int(self.out_sizes.max())
+        self.ragged = bool((self.out_sizes != self.out_max).any())
+
+        # Stacked canonical storage (zero-padded beyond each head's width).
+        # (in, H, out) layout makes the flattened (in, H*out) matrix a
+        # contiguous view, so the shared-input path is one plain GEMM.
+        self.weight = np.zeros((in_features, self.num_heads, self.out_max))
+        self.bias = np.zeros((self.num_heads, self.out_max))
+        self.weight_grad = np.zeros_like(self.weight)
+        self.bias_grad = np.zeros_like(self.bias)
+        self.weight_2d = self.weight.reshape(in_features, -1)
+        self.weight_grad_2d = self.weight_grad.reshape(in_features, -1)
+        for h, dense in enumerate(heads):
+            n = dense.out_features
+            self.weight[:, h, :n] = dense.weight.value
+            self.bias[h, :n] = dense.bias.value
+            # Rebind the per-head Parameters to views into the stacks so
+            # save/load, target sync and per-head tests keep working.
+            dense.weight.value = self.weight[:, h, :n]
+            dense.weight.grad = self.weight_grad[:, h, :n]
+            dense.bias.value = self.bias[h, :n]
+            dense.bias.grad = self.bias_grad[h, :n]
+        if self.ragged:
+            valid = np.arange(self.out_max)[None, :] < self.out_sizes[:, None]
+            self._valid = valid.astype(np.float64)
+        else:
+            self._valid = None
+        self._stack_params = [
+            _stack_param(f"{name}.W_stack", self.weight, self.weight_grad),
+            _stack_param(f"{name}.b_stack", self.bias, self.bias_grad),
+        ]
+        self._input: Optional[np.ndarray] = None
+
+    @classmethod
+    def create(
+        cls,
+        in_features: int,
+        out_sizes: Sequence[int],
+        rng: np.random.Generator,
+        weight_init: Callable[[int, int, np.random.Generator], np.ndarray] = he_uniform,
+        name: str = "batched_dense",
+    ) -> "BatchedDense":
+        """Build a fresh bank by drawing each head in order (stable RNG)."""
+        heads = [
+            Dense(in_features, n, rng, weight_init=weight_init, name=f"{name}.{i}")
+            for i, n in enumerate(out_sizes)
+        ]
+        return cls(heads, name=name)
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Evaluate every head.
+
+        ``x`` is either a shared ``(batch, in)`` input (broadcast to all
+        heads; one fused GEMM) or an already-stacked ``(batch, H, in)``
+        activation (one batched matmul). Returns ``(batch, H, out_max)``.
+
+        ``out`` may be a preallocated C-contiguous result buffer (reused
+        across steps to avoid page-faulting fresh allocations): shaped
+        ``(batch, H, out_max)`` for a 2-D input, ``(H, batch, out_max)``
+        for a 3-D input — the batch-major result is then a transposed view
+        of it.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            if x.shape[1] != self.in_features:
+                raise ShapeError(
+                    f"{self.name} expected (batch, {self.in_features}), got {x.shape}"
+                )
+            self._input = x
+            shape = (x.shape[0], self.num_heads, self.out_max)
+            if out is None:
+                out = np.empty(shape)
+            elif out.shape != shape or not out.flags.c_contiguous:
+                raise ShapeError(
+                    f"{self.name} out buffer must be C-contiguous {shape}, "
+                    f"got {out.shape}"
+                )
+            np.matmul(x, self.weight_2d, out=out.reshape(x.shape[0], -1))
+            result = out
+        elif x.ndim == 3:
+            if x.shape[1] != self.num_heads or x.shape[2] != self.in_features:
+                raise ShapeError(
+                    f"{self.name} expected (batch, {self.num_heads}, "
+                    f"{self.in_features}), got {x.shape}"
+                )
+            self._input = x
+            shape = (self.num_heads, x.shape[0], self.out_max)
+            if out is None:
+                out = np.empty(shape)
+            elif out.shape != shape or not out.flags.c_contiguous:
+                raise ShapeError(
+                    f"{self.name} out buffer must be C-contiguous {shape}, "
+                    f"got {out.shape}"
+                )
+            # (H, batch, in) @ (H, in, out) -> (H, batch, out), batch-major out.
+            np.matmul(x.transpose(1, 0, 2), self.weight.transpose(1, 0, 2), out=out)
+            result = out.transpose(1, 0, 2)
+        else:
+            raise ShapeError(f"{self.name} expected a 2-D or 3-D input, got {x.shape}")
+        result += self.bias
+        return result
+
+    def forward_single(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Eval-only single-state path: ``(in,) -> (H, out_max)``.
+
+        Does not record the input for backward; ``out`` may be a
+        preallocated flat ``(H * out_max,)`` buffer reused across calls.
+        """
+        y = np.dot(x, self.weight_2d, out=out)
+        y = y.reshape(self.num_heads, self.out_max)
+        y += self.bias
+        return y
+
+    def backward(
+        self,
+        grad: np.ndarray,
+        accumulate: bool = True,
+        input_grad_out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Accumulate parameter gradients and return the input gradient.
+
+        ``grad`` is ``(batch, H, out_max)`` and may be modified in place
+        (ragged masking); entries in a ragged head's padded columns are
+        ignored (masked to zero) so padded weights never receive gradient.
+        For a shared 2-D input the returned gradient is
+        the ``(batch, in)`` sum over every head's contribution (the true
+        gradient w.r.t. the shared input, computed as one GEMM); for a
+        stacked 3-D input it is per head, ``(batch, H, in)``.
+
+        ``input_grad_out`` (stacked 3-D inputs only) is an optional
+        ``(H, batch, in)``-shaped destination for the input-gradient
+        matmul — typically a transposed view of a caller-pooled
+        contiguous ``(batch, H, in)`` buffer, which makes the returned
+        batch-major gradient contiguous without an extra copy.
+
+        With ``accumulate=False`` the parameter gradients are *assigned*
+        instead of added — values are identical to accumulating into
+        freshly zeroed gradients, but the zero-fill and the read-modify-
+        write pass over the stacks are skipped. Only valid when the caller
+        runs exactly one backward per optimizer step (as the train step
+        does).
+        """
+        if self._input is None:
+            raise ShapeError(f"{self.name}.backward called before forward")
+        grad = np.asarray(grad, dtype=np.float64)
+        x = self._input
+        if grad.shape != (x.shape[0], self.num_heads, self.out_max):
+            raise ShapeError(
+                f"{self.name} expected grad shape "
+                f"{(x.shape[0], self.num_heads, self.out_max)}, got {grad.shape}"
+            )
+        if self._valid is not None:
+            np.multiply(grad, self._valid, out=grad)
+        if accumulate:
+            self.bias_grad += grad.sum(axis=0)
+        else:
+            np.sum(grad, axis=0, out=self.bias_grad)
+        if x.ndim == 2:
+            grad_2d = grad.reshape(grad.shape[0], -1)
+            if accumulate:
+                self.weight_grad_2d += x.T @ grad_2d
+            else:
+                np.matmul(x.T, grad_2d, out=self.weight_grad_2d)
+            return grad_2d @ self.weight_2d.T
+        grad_hm = grad.transpose(1, 0, 2)                    # (H, batch, out)
+        wgrad_hm = self.weight_grad.transpose(1, 0, 2)
+        if accumulate:
+            wgrad_hm[...] += np.matmul(x.transpose(1, 2, 0), grad_hm)
+        else:
+            np.matmul(x.transpose(1, 2, 0), grad_hm, out=wgrad_hm)
+        return np.matmul(
+            grad_hm, self.weight.transpose(1, 2, 0), out=input_grad_out
+        ).transpose(1, 0, 2)
+
+    def rebind_storage(self) -> None:
+        """Refresh internal references after the stack Parameters moved.
+
+        Called when the stack Parameters' ``value``/``grad`` have been
+        rebound to new storage that aliases elsewhere (the network's flat
+        parameter arena): re-derives the canonical arrays, the flattened
+        2-D views and every per-head view from the Parameters, so all
+        aliasing invariants hold against the new storage.
+        """
+        weight_param, bias_param = self._stack_params
+        self.weight = weight_param.value
+        self.bias = bias_param.value
+        self.weight_grad = weight_param.grad
+        self.bias_grad = bias_param.grad
+        self.weight_2d = self.weight.reshape(self.in_features, -1)
+        self.weight_grad_2d = self.weight_grad.reshape(self.in_features, -1)
+        for h, dense in enumerate(self.heads):
+            n = dense.out_features
+            dense.weight.value = self.weight[:, h, :n]
+            dense.weight.grad = self.weight_grad[:, h, :n]
+            dense.bias.value = self.bias[h, :n]
+            dense.bias.grad = self.bias_grad[h, :n]
+
+    def parameters(self) -> List[Parameter]:
+        """Per-head view parameters (save/load order and shapes)."""
+        params: List[Parameter] = []
+        for dense in self.heads:
+            params.extend([dense.weight, dense.bias])
+        return params
+
+    def stack_parameters(self) -> List[Parameter]:
+        """The fused stacks as two Parameters (for fused optimizer updates).
+
+        Elementwise-identical to updating the per-head views one by one:
+        padded entries always carry zero gradient, so any elementwise
+        optimizer leaves them at zero.
+        """
+        return list(self._stack_params)
+
+
+class HeadBank:
+    """Fused evaluation of H single-hidden-layer heads over a shared input.
+
+    Adopts a list of per-head ``Sequential`` stacks of the BDQ head shape
+    (``Dense -> ReLU [-> Dropout] -> Dense``) and evaluates all of them —
+    value heads and advantage branches alike — in two stacked matmuls.
+    The adopted heads stay fully functional for per-head introspection;
+    only the fused path is used on the hot path.
+    """
+
+    def __init__(
+        self,
+        heads: Sequence[Sequential],
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        name: str = "head_bank",
+    ):
+        heads = list(heads)
+        if not heads:
+            raise ConfigurationError("HeadBank needs at least one head")
+        hidden_denses: List[Dense] = []
+        out_denses: List[Dense] = []
+        for head in heads:
+            layers = head.layers
+            if (
+                len(layers) not in (3, 4)
+                or not isinstance(layers[0], Dense)
+                or not isinstance(layers[1], ReLU)
+                or not isinstance(layers[-1], Dense)
+                or (len(layers) == 4 and not isinstance(layers[2], Dropout))
+            ):
+                raise ConfigurationError(
+                    "HeadBank heads must be Dense -> ReLU [-> Dropout] -> Dense"
+                )
+            hidden_denses.append(layers[0])
+            out_denses.append(layers[-1])
+        self.name = name
+        self.dropout = dropout
+        # Multiply by 1/keep instead of dividing when that is bitwise
+        # exact (keep a power of two, e.g. the paper's dropout 0.5);
+        # float64 division is several times slower than multiplication.
+        self._inv_keep = exact_inverse(1.0 - dropout) if dropout > 0.0 else None
+        self._rng = rng
+        self.hidden = BatchedDense(hidden_denses, name=f"{name}.hidden")
+        self.out = BatchedDense(out_denses, name=f"{name}.out")
+        if self.hidden.ragged or self.hidden.out_max != self.out.in_features:
+            raise ConfigurationError(
+                f"head hidden widths must be uniform and match the output "
+                f"layer fan-in ({self.hidden.out_max} vs {self.out.in_features})"
+            )
+        self.num_heads = self.hidden.num_heads
+        self.out_max = self.out.out_max
+        self._relu_mask: Optional[np.ndarray] = None
+        self._relu_act: Optional[np.ndarray] = None
+        self._drop_mask: Optional[np.ndarray] = None
+        # Pooled (batch, H, hidden) destination for the output layer's
+        # input gradient (lazily sized on first backward).
+        self._hidden_grad_buf: Optional[np.ndarray] = None
+        # Preallocated single-state buffers (lazily sized on first use).
+        self._single_hidden: Optional[np.ndarray] = None
+        self._single_out: Optional[np.ndarray] = None
+        self._single_tail_hidden: Optional[np.ndarray] = None
+        self._single_tail_out: Optional[np.ndarray] = None
+
+    def forward(self, shared: np.ndarray, training: bool = False) -> np.ndarray:
+        """All heads at once: ``(batch, in) -> (batch, H, out_max)``.
+
+        The hidden pre-activation is rectified (and dropout-scaled) in
+        place — it is owned by this bank — so the whole bank forward
+        allocates only the two matmul outputs plus the masks it keeps for
+        backward.
+        """
+        pre = self.hidden.forward(shared, training=training)
+        if training and self.dropout > 0.0:
+            # Dropout overwrites the rectified activation below, so the
+            # ReLU mask must be captured eagerly here. Inverted dropout
+            # keeps the boolean mask (an 8x smaller array than a float
+            # scale) and applies mask-then-divide, the same op order as the
+            # Dropout layer, so values match the loop path bitwise.
+            relu_mask = pre > 0
+            self._relu_mask = None
+            self._relu_act = None
+            np.maximum(pre, 0.0, out=pre)
+            keep = 1.0 - self.dropout
+            mask = self._rng.random(pre.shape) < keep
+            pre *= mask
+            if self._inv_keep is not None:
+                pre *= self._inv_keep
+            else:
+                pre /= keep
+            # Backward applies relu-then-dropout masking as ONE combined
+            # 0/1 mask: multiplying by the masks in either order (or at
+            # once) is exact, so the combined pass is bitwise identical.
+            mask &= relu_mask
+            self._drop_mask = mask
+        else:
+            # The rectified activation itself encodes the mask (act > 0
+            # exactly where pre > 0), so defer mask materialisation to
+            # backward — most eval forwards are never backpropagated.
+            self._relu_mask = None
+            self._relu_act = pre
+            self._drop_mask = None
+            np.maximum(pre, 0.0, out=pre)
+        return self.out.forward(pre, training=training)
+
+    def backward(self, grad: np.ndarray, accumulate: bool = True) -> np.ndarray:
+        """Backprop all heads; returns the summed ``(batch, in)`` input grad.
+
+        ``grad`` may be modified in place (ragged masking). See
+        :meth:`BatchedDense.backward` for ``accumulate``.
+        """
+        # Route the output layer's input-grad matmul through a transposed
+        # view of a pooled batch-major buffer: the result comes back as
+        # contiguous (batch, H, hidden) memory, so every following
+        # elementwise pass (and the hidden layer's flattening reshape)
+        # runs on contiguous memory with no extra copy.
+        shape = (grad.shape[0], self.num_heads, self.hidden.out_max)
+        buf = self._hidden_grad_buf
+        if buf is None or buf.shape != shape:
+            buf = self._hidden_grad_buf = np.empty(shape)
+        g = self.out.backward(
+            grad, accumulate=accumulate, input_grad_out=buf.transpose(1, 0, 2)
+        )
+        if not g.flags.c_contiguous:
+            g = np.ascontiguousarray(g)
+        if self._drop_mask is not None:
+            # The stored mask is the combined relu&drop mask; one pass.
+            g *= self._drop_mask
+            if self._inv_keep is not None:
+                g *= self._inv_keep
+            else:
+                g /= 1.0 - self.dropout
+        elif self._relu_mask is not None:
+            g *= self._relu_mask
+        elif self._relu_act is not None:
+            g *= self._relu_act > 0
+        else:
+            raise ShapeError(f"{self.name}.backward called before forward")
+        return self.hidden.backward(g, accumulate=accumulate)
+
+    def forward_train(
+        self, shared: np.ndarray, batch: int, tail_start: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merged training + eval-tail forward over row-concatenated input.
+
+        Rows ``[:batch]`` of ``shared`` get a full training-mode
+        :meth:`forward` (dropout drawn and recorded for :meth:`backward`);
+        rows ``[batch:]`` get an eval-mode :meth:`forward_tail` of heads
+        ``tail_start..H-1``. Both halves share the hidden layer's single
+        GEMM over the union of rows — rows are independent through every
+        op, so each half matches its separate-call result (and the RNG
+        draw, covering the training rows only, matches :meth:`forward`).
+        Returns ``(train_out, tail_out)``.
+        """
+        rows = shared.shape[0]
+        width = self.hidden.out_max
+        split = tail_start * width
+        # The eval-tail rows only ever read heads tail_start..H-1, so the
+        # hidden GEMM is split by column block: the leading (value-head)
+        # columns are computed for the training rows only. Both blocks
+        # write straight into one (rows, H*width) array — a column slice
+        # of a C-contiguous matrix is still a valid BLAS destination (the
+        # leading dimension is just the full row stride) so both GEMMs
+        # stay fast; the tail rows' value-head region is simply never
+        # written or read.
+        pre2d = np.empty((rows, self.num_heads * width))
+        np.matmul(shared, self.hidden.weight_2d[:, split:], out=pre2d[:, split:])
+        np.matmul(
+            shared[:batch], self.hidden.weight_2d[:, :split], out=pre2d[:batch, :split]
+        )
+        pre = pre2d.reshape(rows, self.num_heads, width)
+        # backward reads the hidden layer's recorded input; only the
+        # training rows are ever backpropagated.
+        self.hidden._input = shared[:batch]
+        train = pre[:batch]
+        tail = pre[batch:, tail_start:, :]
+        train += self.hidden.bias
+        tail += self.hidden.bias[tail_start:]
+        if self.dropout > 0.0:
+            relu_mask = train > 0
+            self._relu_mask = None
+            self._relu_act = None
+            np.maximum(train, 0.0, out=train)
+            keep = 1.0 - self.dropout
+            mask = self._rng.random(train.shape) < keep
+            train *= mask
+            if self._inv_keep is not None:
+                train *= self._inv_keep
+            else:
+                train /= keep
+            # Combined relu&drop mask for backward (see forward()).
+            mask &= relu_mask
+            self._drop_mask = mask
+        else:
+            self._relu_mask = None
+            self._relu_act = train
+            self._drop_mask = None
+            np.maximum(train, 0.0, out=train)
+        np.maximum(tail, 0.0, out=tail)
+        train_out = self.out.forward(train, training=True)
+        tail_out = np.matmul(
+            tail.transpose(1, 0, 2),
+            self.out.weight[:, tail_start:, :].transpose(1, 0, 2),
+        ).transpose(1, 0, 2)
+        tail_out += self.out.bias[tail_start:]
+        return train_out, tail_out
+
+    def forward_single(self, x: np.ndarray) -> np.ndarray:
+        """Eval-mode fast path for one state: ``(in,) -> (H, out_max)``.
+
+        Skips dropout/ReLU mask allocation entirely and reuses
+        preallocated buffers; the returned array is one of those buffers
+        and is only valid until the next call.
+        """
+        if self._single_hidden is None:
+            self._single_hidden = np.empty(self.num_heads * self.hidden.out_max)
+            self._single_out = np.empty((self.num_heads, 1, self.out_max))
+        h = self.hidden.forward_single(x, out=self._single_hidden)
+        np.maximum(h, 0.0, out=h)
+        np.matmul(h[:, None, :], self.out.weight.transpose(1, 0, 2), out=self._single_out)
+        out = self._single_out[:, 0, :]
+        out += self.out.bias
+        return out
+
+    def forward_tail(self, shared: np.ndarray, start: int) -> np.ndarray:
+        """Eval-only forward of heads ``start..H-1``: ``(batch, H-start, out_max)``.
+
+        Lets callers that only need a suffix of the head outputs (BDQ
+        greedy-action selection needs just the advantage branches) skip
+        the leading heads' share of both GEMMs. Does not record any state
+        for backward and leaves the bank's saved activations untouched, so
+        it may be interleaved with training forwards.
+        """
+        if not 0 <= start < self.num_heads:
+            raise ShapeError(
+                f"{self.name}.forward_tail start {start} out of range "
+                f"[0, {self.num_heads})"
+            )
+        width = self.hidden.out_max
+        h = (shared @ self.hidden.weight_2d[:, start * width:]).reshape(
+            shared.shape[0], self.num_heads - start, width
+        )
+        h += self.hidden.bias[start:]
+        np.maximum(h, 0.0, out=h)
+        out = np.matmul(
+            h.transpose(1, 0, 2), self.out.weight[:, start:, :].transpose(1, 0, 2)
+        ).transpose(1, 0, 2)
+        out += self.out.bias[start:]
+        return out
+
+    def forward_single_tail(self, x: np.ndarray, start: int) -> np.ndarray:
+        """Single-state :meth:`forward_tail`: ``(in,) -> (H-start, out_max)``.
+
+        Reuses preallocated buffers; the returned array is one of those
+        buffers and is only valid until the next call.
+        """
+        if not 0 <= start < self.num_heads:
+            raise ShapeError(
+                f"{self.name}.forward_single_tail start {start} out of range "
+                f"[0, {self.num_heads})"
+            )
+        count = self.num_heads - start
+        width = self.hidden.out_max
+        buf_h = self._single_tail_hidden
+        if buf_h is None or buf_h.shape[0] != count * width:
+            buf_h = self._single_tail_hidden = np.empty(count * width)
+            self._single_tail_out = np.empty((count, 1, self.out_max))
+        # matmul, not dot: dot falls back to a slow non-BLAS path for the
+        # column-strided weight view, matmul dispatches to GEMV regardless.
+        h = np.matmul(x, self.hidden.weight_2d[:, start * width:], out=buf_h)
+        h = h.reshape(count, width)
+        h += self.hidden.bias[start:]
+        np.maximum(h, 0.0, out=h)
+        np.matmul(
+            h[:, None, :],
+            self.out.weight[:, start:, :].transpose(1, 0, 2),
+            out=self._single_tail_out,
+        )
+        out = self._single_tail_out[:, 0, :]
+        out += self.out.bias[start:]
+        return out
+
+    def rebind_storage(self) -> None:
+        """Refresh both layers' views after their stack Parameters moved."""
+        self.hidden.rebind_storage()
+        self.out.rebind_storage()
+        self._single_hidden = None
+        self._single_out = None
+        self._single_tail_hidden = None
+        self._single_tail_out = None
+        self._hidden_grad_buf = None
+
+    def parameters(self) -> List[Parameter]:
+        return self.hidden.parameters() + self.out.parameters()
+
+    def stack_parameters(self) -> List[Parameter]:
+        """Fused stacks of both layers (for fused optimizer updates)."""
+        return self.hidden.stack_parameters() + self.out.stack_parameters()

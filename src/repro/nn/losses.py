@@ -30,7 +30,16 @@ def _prepare(
     scale = np.ones_like(pred)
     if weight is not None:
         weight = np.asarray(weight, dtype=np.float64)
-        scale = scale * weight.reshape(scale.shape[:weight.ndim] + (1,) * (scale.ndim - weight.ndim))
+        # Weight must match the leading (batch) axes exactly. A bare
+        # reshape would silently accept any weight whose *total size*
+        # happens to match (e.g. a (2, 2) weight against a length-4 1-D
+        # pred) and raise a confusing ValueError otherwise.
+        if weight.ndim > scale.ndim or weight.shape != scale.shape[: weight.ndim]:
+            raise ShapeError(
+                f"weight shape {weight.shape} does not match the leading "
+                f"axes of pred shape {pred.shape}"
+            )
+        scale = scale * weight.reshape(weight.shape + (1,) * (scale.ndim - weight.ndim))
     if mask is not None:
         scale = scale * np.asarray(mask, dtype=np.float64)
     denom = float(max(scale.sum(), 1.0)) if mask is not None else float(pred.size)

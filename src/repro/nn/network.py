@@ -89,7 +89,14 @@ def copy_parameters(src: Sequence[Parameter], dst: Sequence[Parameter]) -> None:
 
 
 def save_weights(parameters: Sequence[Parameter], path: Union[str, Path]) -> None:
-    """Save a parameter list to an ``.npz`` file keyed by position and name."""
+    """Save a parameter list to an ``.npz`` file keyed by position and name.
+
+    Parameters may be views into fused stacked storage (see
+    :class:`repro.nn.batched.BatchedDense`): ``np.savez`` materialises each
+    view, so the on-disk format is identical to per-head layers and
+    checkpoints remain interchangeable between the fused and the loop
+    (reference) implementations.
+    """
     arrays = {f"{i:04d}:{p.name}": p.value for i, p in enumerate(parameters)}
     np.savez(Path(path), **arrays)
 
@@ -124,20 +131,24 @@ def numerical_gradient(
     is given, only that many randomly chosen entries are perturbed and the
     rest of the returned array is NaN.
     """
-    grad = np.full_like(param.value, np.nan)
-    flat = param.value.reshape(-1)
-    indices = np.arange(flat.size)
-    if sample is not None and sample < flat.size:
+    value = param.value
+    grad = np.full(value.shape, np.nan)
+    indices = np.arange(value.size)
+    if sample is not None and sample < value.size:
         if rng is None:
             rng = np.random.default_rng(0)
-        indices = rng.choice(flat.size, size=sample, replace=False)
-    grad_flat = grad.reshape(-1)
+        indices = rng.choice(value.size, size=sample, replace=False)
     for index in indices:
-        original = flat[index]
-        flat[index] = original + epsilon
+        # Index through the original array, not a flattened alias: for
+        # non-contiguous parameters (per-head views into fused stacked
+        # storage) reshape(-1) would silently copy and the perturbation
+        # would never reach the network.
+        idx = np.unravel_index(index, value.shape)
+        original = value[idx]
+        value[idx] = original + epsilon
         plus = func()
-        flat[index] = original - epsilon
+        value[idx] = original - epsilon
         minus = func()
-        flat[index] = original
-        grad_flat[index] = (plus - minus) / (2.0 * epsilon)
+        value[idx] = original
+        grad[idx] = (plus - minus) / (2.0 * epsilon)
     return grad

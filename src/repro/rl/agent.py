@@ -10,14 +10,14 @@ colocated service.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import ClassVar, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
-from repro.nn.losses import mse_loss
 from repro.nn.network import load_weights, save_weights
 from repro.nn.optim import Adam
 from repro.obs.events import make_event
@@ -89,7 +89,14 @@ class BDQAgentConfig:
 
 
 class BDQAgent:
-    """ε-greedy deep Q-learning over a :class:`BDQNetwork`."""
+    """ε-greedy deep Q-learning over a :class:`BDQNetwork`.
+
+    ``network_cls`` is an override hook for the Q-network implementation;
+    :class:`repro.rl.bdq_reference.ReferenceBDQAgent` uses it to run the
+    frozen pre-fusion per-head loop for equivalence tests and benchmarks.
+    """
+
+    network_cls: ClassVar[type] = BDQNetwork
 
     def __init__(
         self,
@@ -102,7 +109,7 @@ class BDQAgent:
         self._rng = rng
         self.trace = trace or NULL_SINK
         self.timings = timings
-        self.online = BDQNetwork(
+        self.online = self.network_cls(
             config.state_dim,
             config.branch_sizes,
             rng,
@@ -111,8 +118,12 @@ class BDQAgent:
             dropout=config.dropout,
         )
         self.target = self.online.clone(rng)
+        # Networks with fused head storage expose a coarser optimizer
+        # grouping (whole stacks instead of per-head views) — elementwise
+        # identical updates with far fewer Python-level parameter visits.
+        optim_params = getattr(self.online, "optim_parameters", self.online.parameters)()
         self.optimizer = Adam(
-            self.online.parameters(),
+            optim_params,
             learning_rate=config.learning_rate,
             max_grad_norm=config.max_grad_norm,
         )
@@ -132,6 +143,7 @@ class BDQAgent:
         self.beta_schedule = LinearSchedule(config.per_beta_start, 1.0, config.per_beta_steps)
         self.step_count = 0
         self.train_count = 0
+        self._q_grad_buf: Optional[np.ndarray] = None
         self.last_loss: Optional[float] = None
         self.last_td_error: Optional[float] = None
         self.exploring_frozen = False
@@ -245,68 +257,111 @@ class BDQAgent:
                 return self._train_step()
         return self._train_step()
 
+    def _measure(self, label: str):
+        """Timing context for a train-step sub-section (no-op untimed)."""
+        if self.timings is None:
+            return nullcontext()
+        return self.timings.measure(label)
+
     def _train_step(self) -> float:
+        """Vectorized over a flat branch axis — no per-agent/per-branch loops.
+
+        All per-branch bookkeeping (double-Q target construction, chosen-
+        action gather, TD-error/priority accumulation, gradient scatter)
+        happens as array ops on the padded, batch-major ``(batch,
+        total_branches, out_max)`` stacks produced by
+        :meth:`BDQNetwork.forward_stacked`.
+        The math matches the per-branch reference loop
+        (:class:`repro.rl.bdq_reference.ReferenceBDQAgent`) to float
+        round-off.
+        """
         config = self.config
-        if isinstance(self.buffer, PrioritizedReplayBuffer):
-            # One batched tree descent + gather; no per-transition Python loop.
-            beta = self.beta_schedule(self.step_count)
-            batch = self.buffer.sample(config.batch_size, beta=beta)
-            weights = batch["weights"]
-        else:
-            beta = 1.0
-            batch = self.buffer.sample(config.batch_size)
-            weights = np.ones(len(batch["indices"]))
+        net = self.online
+        with self._measure("agent.train.replay"):
+            if isinstance(self.buffer, PrioritizedReplayBuffer):
+                # Batched tree descent + gather; no per-transition Python loop.
+                beta = self.beta_schedule(self.step_count)
+                batch = self.buffer.sample(config.batch_size, beta=beta)
+                weights = batch["weights"]
+            else:
+                beta = 1.0
+                batch = self.buffer.sample(config.batch_size)
+                weights = np.ones(len(batch["indices"]))
 
         states = batch["state"]
         next_states = batch["next_state"]
         rewards = batch["rewards"]
         done = batch["done"].reshape(-1)
-        action_columns = self._unflatten_actions(batch["actions"])
+        chosen = np.asarray(batch["actions"], dtype=np.int64)       # (batch, B)
         batch_size = states.shape[0]
-        rows = np.arange(batch_size)
 
-        # Double Q-learning: online network picks actions, target evaluates.
-        online_next = self.online.forward(next_states, training=False)
-        target_next = self.target.forward(next_states, training=False)
-        targets: List[np.ndarray] = []
-        for k in range(self.num_agents):
-            branch_values = []
-            for d in range(len(self.online.branch_sizes[k])):
-                best = np.argmax(online_next[k][d], axis=1)
-                branch_values.append(target_next[k][d][rows, best])
-            mean_next = np.mean(branch_values, axis=0)
-            targets.append(rewards[:, k] + config.discount * (1.0 - done) * mean_next)
+        with self._measure("agent.train.forward"):
+            # Double Q-learning: online network picks actions, target
+            # evaluates. Action selection argmaxes the raw advantages (the
+            # branch argmax of Q and of A coincide — V and mean-A are
+            # branch constants), skipping the online net's value heads and
+            # dueling aggregation for next_states. Padded entries are
+            # -inf, so argmax needs no mask. The target forward is only
+            # gathered at those (always-valid) best actions, so its
+            # padding is left unmasked.
+            # Both online-net forwards (training predictions on states,
+            # advantage tail on next_states) run as ONE row-concatenated
+            # pass — each layer's GEMM covers the union of rows; only the
+            # training rows draw dropout masks, so the RNG stream matches
+            # separate calls.
+            predictions, online_next = net.forward_train(states, next_states)
+            target_next = self.target.forward_stacked(
+                next_states, training=False, mask_padding=False
+            )
+            best = np.argmax(online_next, axis=2)                   # (batch, B)
+            branch_values = np.take_along_axis(
+                target_next, best[:, :, None], axis=2
+            )[:, :, 0]
+            # Per-agent mean over its (contiguous) branch span.
+            mean_next = (
+                np.add.reduceat(branch_values, net.agent_branch_starts, axis=1)
+                / net.branches_per_agent
+            )
+            targets = rewards + config.discount * (1.0 - done)[:, None] * mean_next
 
-        predictions = self.online.forward(states, training=True)
-        q_grads: List[List[np.ndarray]] = []
-        total_loss = 0.0
-        td_error_accum = np.zeros(batch_size)
-        column = 0
-        for k in range(self.num_agents):
-            agent_grads: List[np.ndarray] = []
-            for d in range(len(self.online.branch_sizes[k])):
-                chosen = action_columns[column]
-                column += 1
-                selected = predictions[k][d][rows, chosen]
-                loss, grad_selected = mse_loss(selected, targets[k], weight=weights)
-                total_loss += loss
-                grad = np.zeros_like(predictions[k][d])
-                grad[rows, chosen] = grad_selected
-                agent_grads.append(grad)
-                td_error_accum += np.abs(selected - targets[k])
-            q_grads.append(agent_grads)
-        # Paper: loss is the mean squared error across each branch per agent.
-        scale = 1.0 / self.online.total_branches
-        q_grads = [[g * scale for g in agent] for agent in q_grads]
-        total_loss *= scale
+        with self._measure("agent.train.backward"):
+            selected = np.take_along_axis(
+                predictions, chosen[:, :, None], axis=2
+            )[:, :, 0]                                              # (batch, B)
+            branch_targets = targets[:, net.branch_agent_index]
+            diff = selected - branch_targets
+            # Paper: loss is the mean squared error across each branch per
+            # agent; importance weights scale each transition's square.
+            scale = 1.0 / net.total_branches
+            weighted_diff = weights[:, None] * diff
+            total_loss = float(
+                ((weighted_diff * diff).sum(axis=0) / batch_size).sum() * scale
+            )
+            grad_selected = (2.0 * scale / batch_size) * weighted_diff
+            # Reused scatter buffer: only the chosen-action entries are
+            # written each step, so it must be cleared first.
+            q_grad_stack = self._q_grad_buf
+            if q_grad_stack is None or q_grad_stack.shape != predictions.shape:
+                q_grad_stack = self._q_grad_buf = np.empty(predictions.shape)
+            q_grad_stack.fill(0.0)
+            np.put_along_axis(
+                q_grad_stack, chosen[:, :, None], grad_selected[:, :, None], axis=2
+            )
+            td_error_accum = np.abs(diff).sum(axis=1)
 
-        self.optimizer.zero_grad()
-        self.online.backward(q_grads)
-        self.optimizer.step()
+            # Assign-mode backward replaces zero_grad + accumulate: one
+            # backward per step writes every gradient exactly once.
+            net.backward_stacked(q_grad_stack, accumulate=False)
+        with self._measure("agent.train.optim"):
+            # The assign-mode backward just computed the global gradient
+            # sq-norm while the gradients were cache-hot; reuse it for the
+            # clip instead of re-streaming the arena.
+            self.optimizer.step(grad_sq_sum=net.last_grad_sq_sum)
 
         if isinstance(self.buffer, PrioritizedReplayBuffer):
-            priorities = td_error_accum / self.online.total_branches
-            self.buffer.update_priorities(batch["indices"], priorities)
+            with self._measure("agent.train.replay"):
+                priorities = td_error_accum / net.total_branches
+                self.buffer.update_priorities(batch["indices"], priorities)
 
         self.train_count += 1
         self.last_loss = float(total_loss)

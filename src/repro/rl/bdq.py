@@ -1,4 +1,4 @@
-"""(Multi-agent) Branching Dueling Q-Network.
+"""(Multi-agent) Branching Dueling Q-Network on a fused head bank.
 
 Implements the architecture of Section III-A / Figure 3 of the paper:
 
@@ -17,6 +17,28 @@ representation is scaled by one over the total number of action dimensions.
 With ``num_agents == 1`` this reduces to the classic BDQ of Tavakoli et al.
 (used by Twig-S); with ``num_agents > 1`` it is the paper's multi-agent
 extension (used by Twig-C).
+
+Execution layout
+----------------
+All K value heads and B advantage branches share the same single-hidden-
+layer shape, so they are evaluated together by one
+:class:`~repro.nn.batched.HeadBank`: head order ``[value_0..value_{K-1},
+branch_0..branch_{B-1}]`` (branches in agent-major, flattened order), with
+ragged branch widths zero-padded to ``out_max``. ``forward_stacked``
+returns the padded, batch-major ``(batch, B, out_max)`` branch-Q tensor
+(padded entries are ``-inf`` so argmax works directly);
+``backward_stacked`` produces the trunk gradient, both paper rescalings,
+and every head gradient without a per-head Python loop. The per-head ``Sequential`` objects in
+``value_heads``/``adv_heads`` remain live views into the stacked storage,
+so parameter ordering, the ``save``/``load`` checkpoint format and
+per-head introspection are unchanged from the loop implementation (kept in
+:mod:`repro.rl.bdq_reference` and asserted equivalent by
+``tests/test_rl_bdq_fused.py``).
+
+``q_single`` is the act-path fast lane: a ``training=False`` forward for
+one state that skips dropout/ReLU mask allocation and reuses preallocated
+buffers — ``act``/``greedy_actions`` run once per simulated second in
+every experiment.
 """
 
 from __future__ import annotations
@@ -26,6 +48,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
+from repro.nn.batched import HeadBank, exact_inverse
 from repro.nn.initializers import glorot_uniform
 from repro.nn.layers import Dense, Dropout, Parameter, ReLU, Sequential
 from repro.nn.network import copy_parameters
@@ -114,6 +137,8 @@ class BDQNetwork:
         self.branch_hidden = branch_hidden
         self.dropout = dropout
 
+        # Per-head layers are constructed exactly as the loop implementation
+        # did (same RNG draw order, same Parameter names/ordering)...
         self.trunk = _hidden_stack([state_dim, *shared_hidden], rng, dropout, "trunk")
         trunk_out = self.shared_hidden[-1]
         self.value_heads: List[Sequential] = [
@@ -127,30 +152,359 @@ class BDQNetwork:
             ]
             for k, agent in enumerate(self.branch_sizes)
         ]
+        # ...then adopted into one fused bank (value heads first, branches in
+        # flattened agent-major order). Adoption rebinds every head Parameter
+        # to a view into the bank's stacked storage.
+        flat_adv = [head for agent in self.adv_heads for head in agent]
+        self.head_bank = HeadBank(
+            self.value_heads + flat_adv, rng, dropout=dropout, name="head_bank"
+        )
+
+        # Flat branch-axis metadata used by the stacked forward/backward and
+        # by BDQAgent's vectorized train step.
+        self.branch_sizes_flat = np.array(
+            [n for agent in self.branch_sizes for n in agent], dtype=np.int64
+        )
+        self.branch_agent_index = np.array(
+            [k for k, agent in enumerate(self.branch_sizes) for _ in agent],
+            dtype=np.int64,
+        )
+        self.branches_per_agent = np.array(
+            [len(agent) for agent in self.branch_sizes], dtype=np.int64
+        )
+        self.agent_branch_starts = np.concatenate(
+            ([0], np.cumsum(self.branches_per_agent)[:-1])
+        )
+        self.out_max = int(max(int(self.branch_sizes_flat.max()), 1))
+        valid = np.arange(self.out_max)[None, :] < self.branch_sizes_flat[:, None]
+        # Padded (branch, column) coordinates, for -inf masking of padded Q.
+        self._pad_rows, self._pad_cols = np.nonzero(~valid)
         self._last_batch: Optional[int] = None
+        self._rng = rng
+        self._trunk_denses = [
+            layer for layer in self.trunk.layers if isinstance(layer, Dense)
+        ]
+        # Per-layer activations/masks recorded by the fused trunk forward.
+        self._trunk_inputs: List[np.ndarray] = []
+        self._trunk_acts: List[np.ndarray] = []
+        self._trunk_relu_masks: List[Optional[np.ndarray]] = []
+        self._trunk_drop_masks: List[Optional[np.ndarray]] = []
+        self._trunk_bufs: Optional[List[np.ndarray]] = None
+        self._q_single_buf: Optional[np.ndarray] = None
+        self._head_grads_buf: Optional[np.ndarray] = None
+        self._flat_param = self._build_parameter_arena()
+        # Cache-hot global gradient sq-norm, refreshed by each assign-mode
+        # backward (None until then); consumed by the optimizer's clip.
+        self.last_grad_sq_sum: Optional[float] = None
+
+    def _build_parameter_arena(self) -> Parameter:
+        """Move every trainable array into one contiguous flat buffer.
+
+        All trunk parameters and the bank's four stacks are copied into a
+        single value arena (and a matching gradient arena) and rebound to
+        contiguous views of it; the per-head views are then re-derived so
+        every existing aliasing invariant holds against the arena. The
+        returned Parameter exposes the whole network as ONE flat value/
+        gradient pair, so elementwise optimizer updates and the global
+        grad-norm dot product each run as a single large array op with no
+        per-parameter dispatch. Elementwise updates over the concatenation
+        are identical to updating the pieces separately.
+        """
+        params = list(self.trunk.parameters()) + self.head_bank.stack_parameters()
+        total = sum(p.value.size for p in params)
+        values = np.empty(total)
+        grads = np.zeros(total)
+        offset = 0
+        for param in params:
+            size = param.value.size
+            value_view = values[offset:offset + size].reshape(param.value.shape)
+            grad_view = grads[offset:offset + size].reshape(param.value.shape)
+            value_view[...] = param.value
+            grad_view[...] = param.grad
+            param.value = value_view
+            param.grad = grad_view
+            offset += size
+        self.head_bank.rebind_storage()
+        flat = Parameter("bdq.flat", values)
+        flat.grad = grads
+        return flat
 
     # ------------------------------------------------------------------ #
     # forward / backward
     # ------------------------------------------------------------------ #
+    def _trunk_forward(
+        self,
+        states: np.ndarray,
+        training: bool,
+        train_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """Allocation-lean trunk forward (same math as ``trunk.forward``).
+
+        Each hidden layer is ``x @ W + b`` rectified in place, with
+        inverted dropout applied as one 0-or-1/keep scale array. Records
+        the per-layer inputs and masks for :meth:`_trunk_backward`. The
+        dropout mask draw order matches the trunk's ``Dropout`` layers
+        (one ``rng.random`` of the activation shape per hidden layer).
+
+        With ``train_rows = r`` (the merged train-step pass), ``states``
+        holds ``r`` training rows followed by eval rows: every layer's GEMM
+        runs once over the union, but dropout — and everything recorded for
+        backward — applies to / covers rows ``[:r]`` only. Rows are
+        independent through ``x @ W + b``, ReLU and row-sliced dropout, so
+        each half matches its separate-call result.
+        """
+        self._trunk_inputs = []
+        self._trunk_acts = []
+        self._trunk_relu_masks = []
+        self._trunk_drop_masks = []
+        keep = 1.0 - self.dropout
+        inv_keep = exact_inverse(keep) if self.dropout > 0.0 else None
+        x = states
+        for dense in self._trunk_denses:
+            self._trunk_inputs.append(x if train_rows is None else x[:train_rows])
+            pre = x @ dense.weight.value
+            pre += dense.bias.value
+            train = pre if train_rows is None else pre[:train_rows]
+            if training and self.dropout > 0.0:
+                # Dropout overwrites the activation, so capture the ReLU
+                # mask eagerly; otherwise derive it lazily in backward from
+                # the rectified activation (act > 0 exactly where pre > 0)
+                # — eval forwards are usually never backpropagated. The
+                # dropout mask stays boolean and is applied mask-then-
+                # divide, the Dropout layer's op order (bitwise match).
+                relu_mask = train > 0
+                self._trunk_relu_masks.append(None)
+                np.maximum(pre, 0.0, out=pre)
+                mask = self._rng.random(train.shape) < keep
+                train *= mask
+                if inv_keep is not None:
+                    # keep is a power of two: multiplying by 1/keep is
+                    # bitwise identical to the division, and faster.
+                    train *= inv_keep
+                else:
+                    train /= keep
+                # Store the combined relu&drop mask: backward then masks
+                # in a single 0/1 pass (exact — 0/1 masking commutes).
+                mask &= relu_mask
+                self._trunk_drop_masks.append(mask)
+            else:
+                self._trunk_relu_masks.append(None)
+                np.maximum(pre, 0.0, out=pre)
+                self._trunk_drop_masks.append(None)
+            self._trunk_acts.append(train)
+            x = pre
+        return x
+
+    def _trunk_backward(self, grad: np.ndarray, accumulate: bool = True) -> None:
+        """Backward through the fused trunk; ``grad`` must be owned by the
+        caller (it is reused in place). The input gradient of the first
+        layer is never needed and is not computed. With
+        ``accumulate=False`` the parameter gradients are assigned rather
+        than added (see :meth:`BatchedDense.backward`).
+        """
+        keep = 1.0 - self.dropout
+        inv_keep = exact_inverse(keep) if self.dropout > 0.0 else None
+        for index in range(len(self._trunk_denses) - 1, -1, -1):
+            dense = self._trunk_denses[index]
+            drop_mask = self._trunk_drop_masks[index]
+            if drop_mask is not None:
+                # Combined relu&drop mask from the forward pass: one pass.
+                grad *= drop_mask
+                if inv_keep is not None:
+                    grad *= inv_keep
+                else:
+                    grad /= keep
+            else:
+                mask = self._trunk_relu_masks[index]
+                if mask is not None:
+                    grad *= mask
+                else:
+                    grad *= self._trunk_acts[index] > 0
+            if accumulate:
+                dense.weight.grad += self._trunk_inputs[index].T @ grad
+                dense.bias.grad += grad.sum(axis=0)
+            else:
+                np.matmul(self._trunk_inputs[index].T, grad, out=dense.weight.grad)
+                np.sum(grad, axis=0, out=dense.bias.grad)
+            if index:
+                grad = grad @ dense.weight.value.T
+
+    def forward_stacked(
+        self,
+        states: np.ndarray,
+        training: bool = False,
+        mask_padding: bool = True,
+    ) -> np.ndarray:
+        """Compute Q-values for every branch as one padded tensor.
+
+        Returns batch-major ``(batch, total_branches, out_max)``; branch
+        ``b``'s valid entries are ``[..., b, :branch_sizes_flat[b]]`` and
+        padded entries are ``-inf`` (so per-branch argmax needs no
+        masking). Callers that only gather the result at known-valid
+        action indices may pass ``mask_padding=False`` to skip the
+        ``-inf`` fill (padded entries then hold meaningless finite values).
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if states.shape[1] != self.state_dim:
+            raise ShapeError(f"expected state dim {self.state_dim}, got {states.shape[1]}")
+        shared = self._trunk_forward(states, training=training)
+        self._last_batch = states.shape[0]
+        heads = self.head_bank.forward(shared, training=training)
+        K = self.num_agents
+        value = heads[:, :K, 0]                     # (batch, K)
+        adv = heads[:, K:, :]                       # (batch, B, out_max)
+        # Padded adv columns are exactly zero (zero weights/bias), so the
+        # full-width sum equals the per-branch sum over valid actions.
+        adv_mean = adv.sum(axis=2) / self.branch_sizes_flat
+        q = value[:, self.branch_agent_index][:, :, None] + adv
+        q -= adv_mean[:, :, None]
+        if mask_padding and self._pad_rows.size:
+            q[:, self._pad_rows, self._pad_cols] = -np.inf
+        return q
+
+    def advantages_stacked(self, states: np.ndarray) -> np.ndarray:
+        """Eval-mode raw advantage outputs: ``(batch, total_branches, out_max)``.
+
+        For greedy-action selection only: within a branch, the argmax over
+        ``Q = V + A - mean(A)`` equals the argmax over the raw ``A``
+        because ``V`` and ``mean(A)`` are constants across that branch's
+        actions. Skips the value heads' share of both bank GEMMs and the
+        whole dueling aggregation. Padded entries are ``-inf``; does not
+        record activations for backward.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if states.shape[1] != self.state_dim:
+            raise ShapeError(f"expected state dim {self.state_dim}, got {states.shape[1]}")
+        shared = self._trunk_forward(states, training=False)
+        adv = self.head_bank.forward_tail(shared, self.num_agents)
+        if self._pad_rows.size:
+            adv[:, self._pad_rows, self._pad_cols] = -np.inf
+        return adv
+
+    def forward_train(
+        self, states: np.ndarray, next_states: np.ndarray
+    ) -> tuple:
+        """The train step's two online-network forwards as one merged pass.
+
+        Returns ``(predictions, next_advantages)`` — exactly what
+        ``forward_stacked(states, training=True, mask_padding=False)`` and
+        ``advantages_stacked(next_states)`` would return separately, but
+        with both batches concatenated row-wise so every trunk/bank layer
+        runs one GEMM over the union instead of two half-sized ones (BLAS
+        throughput grows with row count at these shapes, and per-layer
+        dispatch overhead halves). Rows are independent through every
+        layer, dropout is drawn for (and applied to) the training rows
+        only — the RNG stream is identical to the separate calls — and the
+        activations recorded for :meth:`backward_stacked` cover the
+        training rows only.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        next_states = np.atleast_2d(np.asarray(next_states, dtype=np.float64))
+        if states.shape[1] != self.state_dim or next_states.shape[1] != self.state_dim:
+            raise ShapeError(
+                f"expected state dim {self.state_dim}, got "
+                f"{states.shape[1]} / {next_states.shape[1]}"
+            )
+        batch = states.shape[0]
+        combined = np.concatenate((states, next_states), axis=0)
+        shared = self._trunk_forward(combined, training=True, train_rows=batch)
+        self._last_batch = batch
+        heads, next_adv = self.head_bank.forward_train(shared, batch, self.num_agents)
+        K = self.num_agents
+        value = heads[:, :K, 0]
+        adv = heads[:, K:, :]
+        adv_mean = adv.sum(axis=2) / self.branch_sizes_flat
+        q = value[:, self.branch_agent_index][:, :, None] + adv
+        q -= adv_mean[:, :, None]
+        if self._pad_rows.size:
+            next_adv[:, self._pad_rows, self._pad_cols] = -np.inf
+        return q, next_adv
+
     def forward(self, states: np.ndarray, training: bool = False) -> List[List[np.ndarray]]:
         """Compute Q-values.
 
         Returns ``q[k][d]`` of shape ``(batch, branch_sizes[k][d])``.
         """
-        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
-        if states.shape[1] != self.state_dim:
-            raise ShapeError(f"expected state dim {self.state_dim}, got {states.shape[1]}")
-        shared = self.trunk.forward(states, training=training)
-        self._last_batch = states.shape[0]
+        stack = self.forward_stacked(states, training=training)
         q_values: List[List[np.ndarray]] = []
-        for k in range(self.num_agents):
-            value = self.value_heads[k].forward(shared, training=training)
+        b = 0
+        for agent in self.branch_sizes:
             agent_q: List[np.ndarray] = []
-            for d in range(len(self.branch_sizes[k])):
-                adv = self.adv_heads[k][d].forward(shared, training=training)
-                agent_q.append(value + adv - adv.mean(axis=1, keepdims=True))
+            for n in agent:
+                agent_q.append(stack[:, b, :n])
+                b += 1
             q_values.append(agent_q)
         return q_values
+
+    def backward_stacked(self, q_grad_stack: np.ndarray, accumulate: bool = True) -> None:
+        """Backpropagate a padded ``(batch, total_branches, out_max)`` gradient.
+
+        Padded columns must be zero. Must be called directly after the
+        ``forward``/``forward_stacked`` whose activations should be
+        differentiated. Applies the paper's rescalings (``1/K`` into each
+        advantage branch, ``1/total_branches`` into the trunk) and
+        accumulates every head gradient through the fused bank. With
+        ``accumulate=False`` gradients are assigned instead of added —
+        identical values without a preceding ``zero_grad`` (single-backward
+        callers only; see :meth:`BatchedDense.backward`).
+        """
+        if self._last_batch is None:
+            raise ShapeError("backward called before forward")
+        q_grad_stack = np.asarray(q_grad_stack, dtype=np.float64)
+        expected = (self._last_batch, self.total_branches, self.out_max)
+        if q_grad_stack.shape != expected:
+            raise ShapeError(
+                f"q_grad_stack shape {q_grad_stack.shape} != {expected}"
+            )
+        K = self.num_agents
+        # dQ/dV is 1 for every action output of a branch: each agent's value
+        # head receives the sum over its branches' per-row gradient sums.
+        grad_sums = q_grad_stack.sum(axis=2)                       # (batch, B)
+        value_grads = np.add.reduceat(grad_sums, self.agent_branch_starts, axis=1)
+        # Reused head-gradient buffer. The value-head columns beyond 0 are
+        # zeroed at allocation and never written afterwards (the bank's
+        # ragged masking only ever multiplies them by 0 or 1).
+        buf = self._head_grads_buf
+        if buf is None or buf.shape[0] != self._last_batch:
+            buf = self._head_grads_buf = np.zeros(
+                (self._last_batch, K + self.total_branches, self.out_max)
+            )
+        buf[:, :K, 0] = value_grads
+        # dQ/dA through the dueling mean-subtraction, then the paper's 1/K.
+        adv_grads = buf[:, K:]
+        np.subtract(
+            q_grad_stack,
+            (grad_sums / self.branch_sizes_flat)[:, :, None],
+            out=adv_grads,
+        )
+        adv_grads /= K
+        trunk_grad = self.head_bank.backward(buf, accumulate=accumulate)
+        # Paper: rescale the combined shared-representation gradient by one
+        # over the number of action dimensions. trunk_grad is owned here
+        # (freshly produced by the bank), so the in-place rescale is safe.
+        trunk_grad /= self.total_branches
+        self._trunk_backward(trunk_grad, accumulate=accumulate)
+        if not accumulate:
+            # Assign-mode backward just wrote every gradient in the arena
+            # exactly once, so summing per-piece dot products here equals
+            # the arena-wide dot — but reads (mostly) cache-resident
+            # memory instead of re-streaming the whole gradient arena
+            # inside the optimizer's grad-norm pass.
+            bank = self.head_bank
+            sq = 0.0
+            for grad in (
+                bank.hidden.weight_grad_2d,
+                bank.hidden.bias_grad,
+                bank.out.weight_grad_2d,
+                bank.out.bias_grad,
+            ):
+                flat = grad.reshape(-1)
+                sq += float(np.dot(flat, flat))
+            for dense in self._trunk_denses:
+                for grad in (dense.weight.grad, dense.bias.grad):
+                    flat = grad.reshape(-1)
+                    sq += float(np.dot(flat, flat))
+            self.last_grad_sq_sum = sq
 
     def backward(self, q_grads: Sequence[Sequence[np.ndarray]]) -> None:
         """Backpropagate gradients w.r.t. every Q output.
@@ -161,29 +515,82 @@ class BDQNetwork:
         """
         if self._last_batch is None:
             raise ShapeError("backward called before forward")
-        trunk_out = self.shared_hidden[-1]
-        trunk_grad = np.zeros((self._last_batch, trunk_out))
+        stack = np.zeros((self._last_batch, self.total_branches, self.out_max))
+        b = 0
         for k in range(self.num_agents):
-            value_grad = np.zeros((self._last_batch, 1))
-            for d, grad in enumerate(q_grads[k]):
-                grad = np.asarray(grad, dtype=np.float64)
-                n = self.branch_sizes[k][d]
+            for d, n in enumerate(self.branch_sizes[k]):
+                grad = np.asarray(q_grads[k][d], dtype=np.float64)
                 if grad.shape != (self._last_batch, n):
                     raise ShapeError(
                         f"q_grads[{k}][{d}] shape {grad.shape} != {(self._last_batch, n)}"
                     )
-                # dQ/dV is 1 for every action output of the branch.
-                value_grad += grad.sum(axis=1, keepdims=True)
-                # dQ/dA through the dueling mean-subtraction.
-                adv_grad = grad - grad.sum(axis=1, keepdims=True) / n
-                # Paper: rescale the combined gradient entering the deepest
-                # layer of the advantage dimension by 1 / num agents.
-                adv_grad = adv_grad / self.num_agents
-                trunk_grad += self.adv_heads[k][d].backward(adv_grad)
-            trunk_grad += self.value_heads[k].backward(value_grad)
-        # Paper: rescale the combined shared-representation gradient by one
-        # over the number of action dimensions.
-        self.trunk.backward(trunk_grad / self.total_branches)
+                stack[:, b, :n] = grad
+                b += 1
+        self.backward_stacked(stack)
+
+    # ------------------------------------------------------------------ #
+    # act fast path
+    # ------------------------------------------------------------------ #
+    def _trunk_single(self, state: np.ndarray) -> np.ndarray:
+        """Eval-mode trunk for one state using preallocated buffers."""
+        denses = [layer for layer in self.trunk.layers if isinstance(layer, Dense)]
+        if self._trunk_bufs is None:
+            self._trunk_bufs = [np.empty(d.out_features) for d in denses]
+        x = state
+        for dense, buf in zip(denses, self._trunk_bufs):
+            np.dot(x, dense.weight.value, out=buf)
+            buf += dense.bias.value
+            np.maximum(buf, 0.0, out=buf)          # every trunk Dense is ReLU'd
+            x = buf
+        return x
+
+    def q_single(self, state: np.ndarray) -> np.ndarray:
+        """Eval-mode Q-values for one state: ``(total_branches, out_max)``.
+
+        The act fast path: no dropout/ReLU mask allocation, no batch
+        dimension, preallocated activation buffers. Padded entries are
+        ``-inf``. The returned array is an internal buffer, valid only
+        until the next call.
+        """
+        state = np.asarray(state, dtype=np.float64).reshape(-1)
+        if state.shape[0] != self.state_dim:
+            raise ShapeError(f"expected state dim {self.state_dim}, got {state.shape[0]}")
+        shared = self._trunk_single(state)
+        heads = self.head_bank.forward_single(shared)   # (K + B, out_max)
+        K = self.num_agents
+        value = heads[:K, 0]
+        adv = heads[K:]
+        if self._q_single_buf is None:
+            self._q_single_buf = np.empty((self.total_branches, self.out_max))
+        q = self._q_single_buf
+        q[...] = value[self.branch_agent_index][:, None] + adv
+        q -= (adv.sum(axis=1) / self.branch_sizes_flat)[:, None]
+        if self._pad_rows.size:
+            q[self._pad_rows, self._pad_cols] = -np.inf
+        return q
+
+    def greedy_actions(self, state: np.ndarray) -> List[List[int]]:
+        """Per-agent, per-branch argmax actions for a single state.
+
+        Argmaxes the raw advantages rather than full Q-values — identical
+        per branch, since ``V`` and ``mean(A)`` are branch constants (see
+        :meth:`advantages_stacked`) — so the value heads and the dueling
+        aggregation are skipped entirely.
+        """
+        state = np.asarray(state, dtype=np.float64).reshape(-1)
+        if state.shape[0] != self.state_dim:
+            raise ShapeError(f"expected state dim {self.state_dim}, got {state.shape[0]}")
+        shared = self._trunk_single(state)
+        adv = self.head_bank.forward_single_tail(shared, self.num_agents)
+        if self._pad_rows.size:
+            adv[self._pad_rows, self._pad_cols] = -np.inf
+        best = np.argmax(adv, axis=1)
+        actions: List[List[int]] = []
+        b = 0
+        for agent in self.branch_sizes:
+            actions.append([int(best[b + d]) for d in range(len(agent))])
+            b += len(agent)
+        return actions
 
     # ------------------------------------------------------------------ #
     # parameters & utilities
@@ -196,6 +603,20 @@ class BDQNetwork:
             for head in agent:
                 params.extend(head.parameters())
         return params
+
+    def optim_parameters(self) -> List[Parameter]:
+        """Parameter grouping for the optimizer: the whole network, flat.
+
+        Every trainable array lives in one contiguous arena (see
+        :meth:`_build_parameter_arena`), exposed here as a single flat
+        Parameter: elementwise optimizer updates run as one large array op
+        per update step instead of one small op per layer parameter, and
+        grad-norm clipping is a single dot product. Elementwise-identical
+        to optimising the per-head views individually: padded stack
+        entries always have zero gradient and therefore take a zero
+        update, and the views alias the arena.
+        """
+        return [self._flat_param]
 
     def parameter_count(self) -> int:
         return sum(p.size for p in self.parameters())
@@ -225,7 +646,8 @@ class BDQNetwork:
 
         The shared representation and hidden layers are kept; only the
         specialised output layers are replaced so the network re-learns the
-        problem-specific mapping quickly.
+        problem-specific mapping quickly. Writes are in place so the bank's
+        stacked storage and the per-head views stay aliased.
         """
         heads = list(self.value_heads)
         for agent in self.adv_heads:
@@ -233,10 +655,5 @@ class BDQNetwork:
         for head in heads:
             out = head.layers[-1]
             assert isinstance(out, Dense)
-            out.weight.value = glorot_uniform(out.in_features, out.out_features, rng)
-            out.bias.value = np.zeros(out.out_features)
-
-    def greedy_actions(self, state: np.ndarray) -> List[List[int]]:
-        """Per-agent, per-branch argmax actions for a single state."""
-        q_values = self.forward(np.atleast_2d(state), training=False)
-        return [[int(np.argmax(q[0])) for q in agent] for agent in q_values]
+            out.weight.value[...] = glorot_uniform(out.in_features, out.out_features, rng)
+            out.bias.value[...] = 0.0

@@ -79,7 +79,18 @@ def test_migrations_recorded():
 # ---------------------------------------------------------------------- #
 # parallel experiment batches
 # ---------------------------------------------------------------------- #
-def test_parallel_batch_matches_serial(tmp_path):
+@pytest.fixture
+def many_cpus(monkeypatch):
+    """Pretend the box has cores to spare.
+
+    ``run_experiments`` clamps its worker count to ``os.cpu_count()``, so
+    on a single-core CI box ``jobs=2`` would silently take the serial path
+    and these tests would stop exercising the process pool.
+    """
+    monkeypatch.setattr("repro.experiments.runner.os.cpu_count", lambda: 8)
+
+
+def test_parallel_batch_matches_serial(tmp_path, many_cpus):
     ids = ["mem", "tab02"]
     serial = run_experiments(ids, out_dir=tmp_path / "serial")
     parallel = run_experiments(ids, out_dir=tmp_path / "par", jobs=2)
@@ -95,7 +106,7 @@ def test_parallel_batch_matches_serial(tmp_path):
         assert a.comparable_dict() == b.comparable_dict()
 
 
-def test_parallel_failures_recorded_not_swallowed(tmp_path, monkeypatch):
+def test_parallel_failures_recorded_not_swallowed(tmp_path, monkeypatch, many_cpus):
     import repro.experiments.registry as registry
 
     def exploding(experiment_id, config=None):
@@ -109,7 +120,7 @@ def test_parallel_failures_recorded_not_swallowed(tmp_path, monkeypatch):
         assert (tmp_path / run.experiment_id / "manifest.json").exists()
 
 
-def test_parallel_strict_reraises_and_writes_manifest(tmp_path, monkeypatch):
+def test_parallel_strict_reraises_and_writes_manifest(tmp_path, monkeypatch, many_cpus):
     import repro.experiments.registry as registry
 
     def exploding(experiment_id, config=None):
@@ -128,7 +139,19 @@ def test_jobs_must_be_positive():
         run_experiments(["mem"], jobs=0)
 
 
-def test_parallel_traces_are_per_worker_files(tmp_path):
+def test_jobs_clamped_to_cpu_count(tmp_path, monkeypatch):
+    """jobs > cpu_count degrades to the serial path, not an oversized pool."""
+    monkeypatch.setattr("repro.experiments.runner.os.cpu_count", lambda: 1)
+
+    def no_pool(*args, **kwargs):
+        raise AssertionError("ProcessPoolExecutor used despite 1 cpu")
+
+    monkeypatch.setattr("repro.experiments.runner.ProcessPoolExecutor", no_pool)
+    runs = run_experiments(["mem", "tab02"], out_dir=tmp_path, jobs=4)
+    assert [r.ok for r in runs] == [True, True]
+
+
+def test_parallel_traces_are_per_worker_files(tmp_path, many_cpus):
     ids = ["mem", "tab02"]
     runs = run_experiments(ids, out_dir=tmp_path, trace=True, jobs=2)
     for run in runs:

@@ -29,6 +29,30 @@ def test_mse_shape_mismatch():
         mse_loss(np.ones((2, 2)), np.ones((3, 2)))
 
 
+def test_loss_weight_shape_validation():
+    """Weights must match the leading (batch) axes, not just total size.
+
+    Regression: ``weight.reshape`` used to silently accept any weight
+    whose element count happened to match (broadcasting garbage across
+    the batch) and raise a confusing ``ValueError`` otherwise.
+    """
+    pred = np.ones((4, 3))
+    target = np.zeros((4, 3))
+    # Size coincidences that must be rejected, not silently reshaped.
+    with pytest.raises(ShapeError, match="weight shape"):
+        mse_loss(pred, target, weight=np.ones((2, 2)))  # size 4 == batch
+    with pytest.raises(ShapeError, match="weight shape"):
+        mse_loss(pred, target, weight=np.ones(12))  # size == pred.size
+    with pytest.raises(ShapeError, match="weight shape"):
+        huber_loss(pred, target, weight=np.ones((3, 4)))  # transposed
+    with pytest.raises(ShapeError, match="weight shape"):
+        mse_loss(pred, target, weight=np.ones((4, 3, 1)))  # too many axes
+    # Valid leading-axis weights (1-D batch and full-shape) still work.
+    loss_batch, _ = mse_loss(pred, target, weight=np.ones(4))
+    loss_full, _ = mse_loss(pred, target, weight=np.ones((4, 3)))
+    assert loss_batch == pytest.approx(loss_full) == pytest.approx(1.0)
+
+
 def test_mse_weights_scale_loss():
     pred = np.array([[1.0], [1.0]])
     target = np.array([[0.0], [0.0]])

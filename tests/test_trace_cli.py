@@ -80,6 +80,49 @@ def test_report_renders_curve_and_timeline(capsys):
     assert "Learning curve" in out
     assert "Violation timeline (1 episodes)" in out
     assert "masstree" in out
+    # No manifest next to the golden trace -> no timings section.
+    assert "Timings" not in out
+
+
+def _manifest_with_timings(path):
+    from repro.obs.manifest import RunManifest
+
+    mean = {"count": 5, "total_s": 0.5, "mean_ms": 100.0,
+            "p50_ms": 100.0, "p99_ms": 100.0, "max_ms": 100.0}
+    RunManifest(
+        experiment_id="fig07",
+        timings={
+            "agent.train": dict(mean),
+            "agent.train.forward": dict(mean),
+            "agent.train.backward": dict(mean),
+            "agent.train.optim": dict(mean),
+            "agent.train.replay": dict(mean),
+        },
+    ).write(path)
+
+
+def test_report_surfaces_train_timings_from_manifest(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    trace.write_text(Path(GOLDEN).read_text())
+    _manifest_with_timings(tmp_path / "manifest.json")
+    # Auto-discovered from the trace file's directory.
+    assert main(["trace", "report", str(trace), "--bucket", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Timings" in out
+    for section in ("forward", "backward", "optim", "replay"):
+        assert f"agent.train.{section}" in out
+    # --no-timings suppresses the section even with a manifest present.
+    assert main(["trace", "report", str(trace), "--bucket", "2", "--no-timings"]) == 0
+    assert "Timings" not in capsys.readouterr().out
+
+
+def test_report_explicit_manifest_path(tmp_path, capsys):
+    manifest = tmp_path / "elsewhere.json"
+    _manifest_with_timings(manifest)
+    assert main(["trace", "report", GOLDEN, "--bucket", "2", "--manifest", str(manifest)]) == 0
+    assert "agent.train.backward" in capsys.readouterr().out
+    assert main(["trace", "report", GOLDEN, "--manifest", str(tmp_path / "nope.json")]) == 1
+    assert "not found" in capsys.readouterr().err
 
 
 def test_summarize_missing_file_is_clean_cli_error(capsys):

@@ -8,6 +8,7 @@ from repro.analysis.trace_report import (
     learning_curve,
     longest_episode,
     render_report,
+    render_timings,
     violation_episodes,
 )
 from repro.errors import ConfigurationError
@@ -75,3 +76,50 @@ def test_render_report_empty_trace(tmp_path):
     empty.write_text("")
     with pytest.raises(ConfigurationError, match="empty"):
         render_report(empty)
+
+
+def _timing(count, total_s):
+    mean_ms = total_s / count * 1e3
+    return {
+        "count": count, "total_s": total_s, "mean_ms": mean_ms,
+        "p50_ms": mean_ms, "p99_ms": mean_ms, "max_ms": mean_ms,
+    }
+
+
+def test_render_timings_nests_subsections_under_parent():
+    table = render_timings(
+        {
+            "agent.train": _timing(100, 2.0),
+            "agent.train.forward": _timing(100, 0.8),
+            "agent.train.backward": _timing(100, 1.0),
+            "agent.train.optim": _timing(100, 0.15),
+            "agent.train.replay": _timing(200, 0.05),
+            "env.step": _timing(400, 4.0),
+        }
+    )
+    lines = table.splitlines()
+    # Top-level sections ordered by total time; children indented under
+    # agent.train, ordered by their own totals, with a share of the parent.
+    roots = [l for l in lines if not l.startswith("   ")]
+    assert roots[1].lstrip().startswith("env.step")
+    train = lines.index(next(l for l in lines if "agent.train " in l))
+    assert "agent.train.backward" in lines[train + 1]
+    assert "50.0%" in lines[train + 1]
+    assert "agent.train.forward" in lines[train + 2]
+    assert "40.0%" in lines[train + 2]
+    # Orphan sub-labels (no measured parent) stay top-level.
+    orphan = render_timings({"agent.act.fast": _timing(1, 0.1)})
+    assert "agent.act.fast" in orphan
+
+
+def test_render_timings_empty():
+    assert render_timings({}) == "(no timings recorded)"
+
+
+def test_render_report_appends_timings_section():
+    with_timings = render_report(
+        GOLDEN, bucket=2, timings={"agent.train": _timing(3, 0.3)}
+    )
+    assert "Timings" in with_timings
+    assert "agent.train" in with_timings
+    assert "Timings" not in render_report(GOLDEN, bucket=2)

@@ -4,13 +4,20 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test trace-e2e bench bench-smoke docs-check
+.PHONY: test test-robust trace-e2e bench bench-smoke docs-check
 
 ## Tier-1: the full unit/property/integration suite (excludes -m slow).
 ## Includes tests/test_repo_hygiene.py, which fails if bytecode, caches,
 ## or build artifacts are ever tracked by git again.
 test:
 	$(PYTEST) -x -q
+
+## Robustness suite: checkpoint container round-trips, torn-write
+## recovery, save->load->continue-training resume equivalence, fault
+## injection + degraded-mode behaviour, and runner crash recovery.
+test-robust:
+	$(PYTEST) -q tests/test_ckpt_checkpoint.py tests/test_sim_faults.py \
+		tests/test_resume_equivalence.py
 
 ## One tiny end-to-end traced experiment; validates every emitted JSONL
 ## trace line against the repro.obs event schema and the run manifest.

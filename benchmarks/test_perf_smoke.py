@@ -254,6 +254,42 @@ def test_bdq_act_fused_vs_loop():
     assert all(r["speedup"] > 1.0 for r in results.values()), results
 
 
+def test_checkpoint_roundtrip(tmp_path):
+    """Full-state agent checkpoint save/load cost and file size.
+
+    Checkpoints are written every N control intervals inside a run
+    (``--checkpoint-every``), so their cost bounds how often crash-safety
+    is affordable: the save must stay far below one 1 s control interval.
+    """
+    results = {}
+    for num_agents, rounds in {1: 20, 2: 15, 4: 10}.items():
+        agent = _bdq_agent(BDQAgent, num_agents)
+        for _ in range(3):  # populate optimizer moments and RNG history
+            agent.train_step()
+        path = tmp_path / f"agent_{num_agents}.ckpt.npz"
+
+        save_s = _best_block_s(lambda: agent.save(path), rounds)
+
+        loader = _bdq_agent(BDQAgent, num_agents, seed=7)
+        load_s = _best_block_s(lambda: loader.load(path), rounds)
+
+        size_kb = path.stat().st_size / 1024.0
+        results[f"agents_{num_agents}"] = {
+            "rounds": rounds,
+            "save_ms": round(save_s * 1e3, 3),
+            "load_ms": round(load_s * 1e3, 3),
+            "file_kb": round(size_kb, 1),
+        }
+        print(
+            f"\ncheckpoint roundtrip ({num_agents} agents): "
+            f"save {save_s * 1e3:.1f}ms, load {load_s * 1e3:.1f}ms, "
+            f"{size_kb:.0f} KB"
+        )
+        # The bar: both directions comfortably inside one control interval.
+        assert save_s < 1.0 and load_s < 1.0, results
+    _record("checkpoint_roundtrip", results)
+
+
 def test_parallel_runner_vs_serial(tmp_path):
     ids = ["tab03", "fig04", "tab02", "mem"]  # slowest first helps scheduling
     jobs = 4

@@ -1,0 +1,31 @@
+"""Full-training-state checkpointing (atomic, versioned, kind-tagged).
+
+See :mod:`repro.ckpt.checkpoint` for the container format and
+``docs/robustness.md`` for the resume guarantees built on top of it.
+"""
+
+from repro.ckpt.checkpoint import (
+    CKPT_FORMAT,
+    CKPT_VERSION,
+    META_KEY,
+    checkpoint_kind,
+    load_state,
+    resolve_checkpoint_path,
+    rng_state,
+    save_state,
+    set_rng_state,
+)
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CKPT_FORMAT",
+    "CKPT_VERSION",
+    "META_KEY",
+    "CheckpointError",
+    "checkpoint_kind",
+    "load_state",
+    "resolve_checkpoint_path",
+    "rng_state",
+    "save_state",
+    "set_rng_state",
+]

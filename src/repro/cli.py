@@ -107,7 +107,11 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     experiments = args.experiment
-    if len(experiments) == 1 and not (args.trace or args.strict or args.out_dir):
+    batch_flags = (
+        args.trace or args.strict or args.out_dir or args.retries
+        or args.resume or args.checkpoint_every
+    )
+    if len(experiments) == 1 and not batch_flags:
         # Single untraced run: no manifest machinery, just the table.
         config = _config_for(experiments[0], args.scale)
         result = run_experiment(experiments[0], config)
@@ -116,7 +120,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     from repro.experiments.runner import run_experiments
 
-    out_dir = args.out_dir or "runs"
+    out_dir = args.out_dir or args.resume or "runs"
     configs = {e: _config_for(e, args.scale) for e in experiments}
     runs = run_experiments(
         experiments,
@@ -126,12 +130,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         trace=args.trace,
         validate=args.validate,
         jobs=args.jobs,
+        retries=args.retries,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
     )
     failed = 0
     for run in runs:
         print(f"== {run.experiment_id} ({run.manifest.status}) ==")
-        if run.ok:
+        if run.ok and run.result is not None:
             print(run.result.format_table())
+        elif run.ok:
+            # Salvaged from a previous batch's manifest (--resume): the
+            # Result object died with the original process.
+            print("skipped: already completed in a previous batch (--resume)")
         else:
             failed += 1
             print(f"error: {run.manifest.error}")
@@ -318,6 +329,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run experiments in up to N worker processes (clamped to the "
              "machine's cpu count); results, manifests and traces are "
              "identical to a serial run modulo timing fields",
+    )
+    run_parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failing experiment up to N extra times with "
+             "exponential backoff, and rebuild a crashed worker pool up "
+             "to N times (incompatible with --strict)",
+    )
+    run_parser.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="skip experiments that already have an ok manifest under "
+             "DIR/<id>/manifest.json (salvage of an interrupted batch); "
+             "DIR doubles as --out-dir when that is not given",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="write a rolling full-state run checkpoint "
+             "(<out-dir>/<id>/run.ckpt.npz) every N control intervals "
+             "inside each experiment",
     )
     run_parser.set_defaults(func=cmd_run)
 

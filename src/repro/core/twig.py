@@ -16,17 +16,18 @@ case). Each control interval it:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.ckpt.checkpoint import checkpoint_kind, load_state, save_state
 from repro.core.actions import ActionSpace, Allocation
 from repro.core.config import TwigConfig
 from repro.core.manager import TaskManager
 from repro.core.mapper import Mapper
 from repro.core.power_model import ServicePowerModel
 from repro.core.reward import RewardBreakdown, reward_components
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.obs.events import make_event
 from repro.obs.sink import NULL_SINK, TraceSink
 from repro.obs.timing import TimingRegistry
@@ -125,6 +126,28 @@ class Twig(TaskManager):
 
     def update(self, result: StepResult) -> Dict[str, CoreAssignment]:
         state = self._build_state(result)
+        degraded = self._degraded_services(result)
+        if degraded:
+            # Graceful degradation: telemetry for at least one service is
+            # unusable (PMC dropout/NaN or a crashed service reporting NaN
+            # latency). Acting on garbage state — or learning from a
+            # transition that spans the gap — would corrupt the policy, so
+            # hold the last known-good allocation and break the transition
+            # chain until telemetry recovers.
+            if self.trace.enabled:
+                self.trace.emit(
+                    make_event(
+                        "degraded",
+                        result.time,
+                        services=sorted(degraded),
+                        held_allocation=True,
+                    )
+                )
+            self._prev_state = None
+            self._prev_actions = None
+            if not self._last_allocations:
+                return self.initial_assignments()
+            return self.mapper.map(self._last_allocations)
         breakdowns = self._compute_rewards(result)
         rewards = {name: b.total for name, b in breakdowns.items()}
         if self._prev_state is not None and self._prev_actions is not None:
@@ -209,6 +232,21 @@ class Twig(TaskManager):
             parts.append(self.monitor.observe(name, observation.pmcs))
         return np.concatenate(parts)
 
+    def _degraded_services(self, result: StepResult) -> List[str]:
+        """Services whose telemetry this interval cannot be acted upon.
+
+        Combines the monitor's PMC-level rejection (non-finite counter
+        readings, see :attr:`SystemMonitor.degraded`) with non-finite
+        latency observations (a crashed service reports NaN p99).
+        """
+        degraded = {
+            name for name in self.service_order if name in self.monitor.degraded
+        }
+        for name in self.service_order:
+            if not np.isfinite(result.observations[name].p99_ms):
+                degraded.add(name)
+        return sorted(degraded)
+
     def _compute_rewards(self, result: StepResult) -> Dict[str, RewardBreakdown]:
         rewards: Dict[str, RewardBreakdown] = {}
         for name in self.service_order:
@@ -254,14 +292,113 @@ class Twig(TaskManager):
         """Switch to pure exploitation (recommended once trained)."""
         self.agent.exploring_frozen = True
 
+    #: Checkpoint kind tag for full manager state (see :mod:`repro.ckpt`).
+    CKPT_KIND: ClassVar[str] = "twig"
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Complete manager state for crash-safe resume.
+
+        Besides the agent (which carries the shared RNG — Twig and its
+        agent draw from one generator), this captures the control-loop
+        context: the pending transition half (prev state/actions), the
+        last allocations held per service, monitor smoothing history, and
+        the reward bookkeeping used by trace events.
+        """
+        tree: Dict[str, Any] = {
+            "services": list(self.service_order),
+            "agent": self.agent.state_dict(),
+            "monitor": self.monitor.state_dict(),
+            "prev_actions": (
+                None
+                if self._prev_actions is None
+                else [[int(a) for a in branch] for branch in self._prev_actions]
+            ),
+            "last_allocations": {
+                name: {
+                    "num_cores": allocation.num_cores,
+                    "freq_index": allocation.freq_index,
+                    "llc_ways": allocation.llc_ways,
+                }
+                for name, allocation in self._last_allocations.items()
+            },
+            "last_estimated_power": {
+                name: float(value) for name, value in self._last_estimated_power.items()
+            },
+            "last_rewards": {name: float(value) for name, value in self.last_rewards.items()},
+        }
+        if self._prev_state is not None:
+            tree["prev_state"] = np.asarray(self._prev_state, dtype=np.float64).copy()
+        return tree
+
+    def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        """Restore state from :meth:`state_dict` (stage-then-commit)."""
+        try:
+            services = [str(name) for name in list(tree["services"])]
+            agent_tree = dict(tree["agent"])
+            monitor_tree = dict(tree["monitor"])
+            prev_actions = tree["prev_actions"]
+            raw_allocations = dict(tree["last_allocations"])
+            estimated_power = {
+                str(k): float(v) for k, v in dict(tree["last_estimated_power"]).items()
+            }
+            last_rewards = {str(k): float(v) for k, v in dict(tree["last_rewards"]).items()}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed twig checkpoint: {exc}") from exc
+        if services != self.service_order:
+            raise CheckpointError(
+                f"checkpoint manages services {services}, this Twig manages {self.service_order}"
+            )
+        prev_state = tree.get("prev_state")
+        if prev_state is not None:
+            prev_state = np.asarray(prev_state, dtype=np.float64).reshape(-1)
+            if prev_state.shape[0] != self.agent.config.state_dim:
+                raise CheckpointError(
+                    f"checkpoint prev_state dim {prev_state.shape[0]} != "
+                    f"state dim {self.agent.config.state_dim}"
+                )
+        if prev_actions is not None:
+            try:
+                prev_actions = [[int(a) for a in branch] for branch in prev_actions]
+            except (TypeError, ValueError) as exc:
+                raise CheckpointError(f"malformed prev_actions: {exc}") from exc
+        try:
+            allocations = {
+                str(name): Allocation(
+                    num_cores=int(fields["num_cores"]),
+                    freq_index=int(fields["freq_index"]),
+                    llc_ways=int(fields.get("llc_ways", 0)),
+                )
+                for name, fields in raw_allocations.items()
+            }
+        except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+            raise CheckpointError(f"malformed allocation in checkpoint: {exc}") from exc
+        # The agent load (stage-then-commit itself) goes first: it is the
+        # part that can still reject the checkpoint.
+        self.agent.load_state_dict(agent_tree)
+        self.monitor.load_state_dict(monitor_tree)
+        self._prev_state = prev_state
+        self._prev_actions = prev_actions
+        self._last_allocations = allocations
+        self._last_estimated_power = estimated_power
+        self.last_rewards = last_rewards
+
     def save(self, path) -> None:
-        """Checkpoint the learned network weights to an ``.npz`` file."""
-        self.agent.save(path)
+        """Atomically checkpoint the full manager state (see repro.ckpt)."""
+        save_state(path, self.CKPT_KIND, self.state_dict())
 
     def load(self, path) -> None:
-        """Restore network weights saved with :meth:`save`. The
-        architecture (services, branch sizes, hidden widths) must match."""
-        self.agent.load(path)
+        """Restore a checkpoint written by :meth:`save`.
+
+        Also accepts bare agent checkpoints and legacy weight-only
+        ``.npz`` files (both restore the agent only; the legacy path warns
+        that training state is unrecoverable). The architecture (services,
+        branch sizes, hidden widths) must match.
+        """
+        kind = checkpoint_kind(path)
+        if kind is None or kind == BDQAgent.CKPT_KIND:
+            self.agent.load(path)
+            return
+        self.load_state_dict(load_state(path, kind=self.CKPT_KIND))
 
     def transfer_to(
         self,

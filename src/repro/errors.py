@@ -29,3 +29,14 @@ class NotFittedError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation reached an inconsistent internal state."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable, truncated, or incompatible.
+
+    Raised by :mod:`repro.ckpt` whenever a checkpoint cannot be loaded —
+    torn writes, wrong container kind, future format versions, or state
+    trees that do not match the object being restored. Loading is
+    stage-then-commit: when this is raised, the target object has not
+    been mutated.
+    """

@@ -17,21 +17,30 @@ import random
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.ckpt.checkpoint import load_state, save_state
 from repro.core.manager import TaskManager
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.metrics.qos import qos_guarantee_pct
 from repro.obs.context import ObsContext, activate, current
 from repro.obs.events import make_event
 from repro.obs.manifest import RunManifest, config_hash, git_sha, now_iso
 from repro.obs.sink import JsonlSink, iter_trace
 from repro.obs.summary import summarize_events
+from repro.server.machine import CoreAssignment
 from repro.sim.environment import ColocationEnvironment
+
+#: File name of the rolling run checkpoint inside ``checkpoint_dir``.
+RUN_CKPT_NAME = "run.ckpt.npz"
+
+#: Checkpoint kind written by :func:`run_manager`.
+RUN_CKPT_KIND = "run"
 
 
 @dataclass
@@ -130,12 +139,100 @@ class RunTrace:
                 writer.writerow(row)
 
 
+def _serialize_assignments(
+    assignments: Mapping[str, CoreAssignment],
+) -> Dict[str, Dict[str, Any]]:
+    return {
+        name: {
+            "cores": [int(c) for c in a.cores],
+            "freq_index": int(a.freq_index),
+            "llc_ways": int(a.llc_ways),
+        }
+        for name, a in assignments.items()
+    }
+
+
+def _deserialize_assignments(state: Mapping[str, Any]) -> Dict[str, CoreAssignment]:
+    try:
+        return {
+            str(name): CoreAssignment(
+                cores=tuple(int(c) for c in entry["cores"]),
+                freq_index=int(entry["freq_index"]),
+                llc_ways=int(entry["llc_ways"]),
+            )
+            for name, entry in dict(state).items()
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed assignment state: {exc}") from exc
+
+
+def _serialize_trace(trace: RunTrace) -> Dict[str, Any]:
+    return {
+        "service_order": list(trace.services),
+        "services": {
+            name: {
+                "p99_ms": np.asarray(s.p99_ms, dtype=np.float64),
+                "arrival_rps": np.asarray(s.arrival_rps, dtype=np.float64),
+                "cores": np.asarray(s.cores, dtype=np.float64),
+                "frequency_ghz": np.asarray(s.frequency_ghz, dtype=np.float64),
+                "qos_target_ms": float(s.qos_target_ms),
+            }
+            for name, s in trace.services.items()
+        },
+        "power_w": np.asarray(trace.power_w, dtype=np.float64),
+        "true_power_w": np.asarray(trace.true_power_w, dtype=np.float64),
+        "membw_utilization": np.asarray(trace.membw_utilization, dtype=np.float64),
+        "interval_s": float(trace.interval_s),
+    }
+
+
+def _deserialize_trace(state: Mapping[str, Any], manager_name: str) -> RunTrace:
+    try:
+        order = [str(name) for name in state["service_order"]]
+        per_service = dict(state["services"])
+        services = {}
+        for name in order:
+            entry = dict(per_service[name])
+            services[name] = ServiceTrace(
+                p99_ms=np.asarray(entry["p99_ms"], dtype=np.float64).tolist(),
+                arrival_rps=np.asarray(entry["arrival_rps"], dtype=np.float64).tolist(),
+                cores=np.asarray(entry["cores"], dtype=np.float64).tolist(),
+                frequency_ghz=np.asarray(entry["frequency_ghz"], dtype=np.float64).tolist(),
+                qos_target_ms=float(entry["qos_target_ms"]),
+            )
+        return RunTrace(
+            manager_name=manager_name,
+            services=services,
+            power_w=np.asarray(state["power_w"], dtype=np.float64).tolist(),
+            true_power_w=np.asarray(state["true_power_w"], dtype=np.float64).tolist(),
+            membw_utilization=np.asarray(
+                state["membw_utilization"], dtype=np.float64
+            ).tolist(),
+            interval_s=float(state["interval_s"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed run-trace state: {exc}") from exc
+
+
+def _manager_state_dict(manager: TaskManager) -> Dict[str, Any]:
+    state_dict = getattr(manager, "state_dict", None)
+    if state_dict is None:
+        raise ConfigurationError(
+            f"manager {manager.name!r} does not support checkpointing "
+            "(no state_dict method)"
+        )
+    return state_dict()
+
+
 def run_manager(
     manager: TaskManager,
     env: ColocationEnvironment,
     steps: int,
     on_step=None,
     obs: Optional[ObsContext] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume_from: Optional[Union[str, Path]] = None,
 ) -> RunTrace:
     """Drive ``manager`` for ``steps`` control intervals.
 
@@ -145,26 +242,101 @@ def run_manager(
     omitted the ambient :func:`repro.obs.context.current` context (if any)
     is used, which is how ``repro run --trace`` reaches runs started deep
     inside experiment modules.
+
+    ``checkpoint_every=N`` writes a rolling full-state checkpoint
+    (``run.ckpt.npz`` under ``checkpoint_dir``) every N completed steps:
+    manager state, environment state, the next assignments, and the trace
+    recorded so far, all in one atomically-replaced ``repro.ckpt``
+    container. ``resume_from`` restores such a checkpoint into the given
+    (freshly constructed) ``manager`` and ``env`` and continues the loop
+    where it left off; the returned :class:`RunTrace` is bit-identical to
+    the uninterrupted run's. Both default to the ambient
+    :class:`ObsContext`'s ``checkpoint_every`` / ``checkpoint_dir`` when
+    not passed explicitly.
     """
     if steps <= 0:
         raise ConfigurationError(f"steps must be positive, got {steps}")
     obs = obs if obs is not None else current()
     timings = None
+    ambient_checkpoint = False
     if obs is not None:
         env.trace = obs.sink
         timings = obs.timings
         attach = getattr(manager, "attach_obs", None)
         if attach is not None:
             attach(obs.sink, timings)
-    sink = env.trace
-    trace = RunTrace(
-        manager_name=manager.name,
-        services={
-            name: ServiceTrace(qos_target_ms=env.qos_target_of(name))
-            for name in env.service_names
-        },
-        interval_s=env.config.interval_s,
+        if checkpoint_every is None:
+            checkpoint_every = obs.checkpoint_every
+            ambient_checkpoint = checkpoint_every is not None
+        if checkpoint_dir is None:
+            checkpoint_dir = obs.checkpoint_dir
+    if ambient_checkpoint and (
+        getattr(manager, "state_dict", None) is None
+        or getattr(manager, "load_state_dict", None) is None
+    ):
+        # The ambient flag (repro run --checkpoint-every) reaches *every*
+        # run inside an experiment, including baseline comparison runs.
+        # Baselines without state support just run uncheckpointed — only
+        # an explicit checkpoint_every= argument makes that an error.
+        checkpoint_every = None
+        checkpoint_dir = None
+    if checkpoint_every is not None and checkpoint_every <= 0:
+        raise ConfigurationError(
+            f"checkpoint_every must be positive, got {checkpoint_every}"
+        )
+    if checkpoint_every is not None and checkpoint_dir is None:
+        raise ConfigurationError("checkpoint_every requires checkpoint_dir")
+    ckpt_path = (
+        Path(checkpoint_dir) / RUN_CKPT_NAME if checkpoint_dir is not None else None
     )
+    sink = env.trace
+    first_t = 0
+    if resume_from is not None:
+        resume_path = Path(resume_from)
+        if resume_path.is_dir():
+            resume_path = resume_path / RUN_CKPT_NAME
+        tree = load_state(resume_path, kind=RUN_CKPT_KIND)
+        try:
+            loop = dict(tree["loop"])
+            next_t = int(loop["next_t"])
+            stored_steps = int(loop["steps"])
+            stored_manager = str(loop["manager_name"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed run checkpoint: {exc}") from exc
+        if stored_manager != manager.name:
+            raise CheckpointError(
+                f"checkpoint was taken from manager {stored_manager!r}, "
+                f"resuming with {manager.name!r}"
+            )
+        if stored_steps != steps:
+            raise CheckpointError(
+                f"checkpoint was taken from a {stored_steps}-step run, "
+                f"this run asks for {steps}"
+            )
+        if not 0 < next_t <= steps:
+            raise CheckpointError(f"checkpoint next_t {next_t} out of range")
+        # Stage everything that can fail before mutating manager/env.
+        assignments = _deserialize_assignments(loop["assignments"])
+        trace = _deserialize_trace(dict(tree["trace"]), manager.name)
+        load_manager = getattr(manager, "load_state_dict", None)
+        if load_manager is None:
+            raise ConfigurationError(
+                f"manager {manager.name!r} does not support checkpointing "
+                "(no load_state_dict method)"
+            )
+        load_manager(dict(tree["manager"]))
+        env.load_state_dict(dict(tree["env"]))
+        first_t = next_t
+    else:
+        trace = RunTrace(
+            manager_name=manager.name,
+            services={
+                name: ServiceTrace(qos_target_ms=env.qos_target_of(name))
+                for name in env.service_names
+            },
+            interval_s=env.config.interval_s,
+        )
+        assignments = manager.initial_assignments()
     if sink.enabled:
         sink.emit(
             make_event(
@@ -179,8 +351,7 @@ def run_manager(
     step_timing = timings.get("env.step") if timings is not None else None
     update_timing = timings.get("manager.update") if timings is not None else None
     started = time.perf_counter()
-    assignments = manager.initial_assignments()
-    for t in range(steps):
+    for t in range(first_t, steps):
         if step_timing is not None:
             t0 = time.perf_counter()
             result = env.step(assignments)
@@ -211,6 +382,30 @@ def run_manager(
             maybe_assignments = on_step(t, result)
             if maybe_assignments is not None:
                 assignments = maybe_assignments
+        if (
+            ckpt_path is not None
+            and checkpoint_every is not None
+            and (t + 1) % checkpoint_every == 0
+            and (t + 1) < steps
+        ):
+            # Taken after the manager produced the *next* assignments, so a
+            # resume replays the loop exactly: restore state, apply the
+            # stored assignments, continue at next_t.
+            save_state(
+                ckpt_path,
+                RUN_CKPT_KIND,
+                {
+                    "manager": _manager_state_dict(manager),
+                    "env": env.state_dict(),
+                    "loop": {
+                        "next_t": t + 1,
+                        "steps": steps,
+                        "manager_name": manager.name,
+                        "assignments": _serialize_assignments(assignments),
+                    },
+                    "trace": _serialize_trace(trace),
+                },
+            )
     if sink.enabled:
         sink.emit(
             make_event(
@@ -248,6 +443,10 @@ def run_experiments(
     trace: bool = False,
     validate: bool = False,
     jobs: int = 1,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
+    resume: Optional[Union[str, Path]] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> List[ExperimentRun]:
     """Run a batch of registered experiments, writing one manifest each.
 
@@ -274,40 +473,196 @@ def run_experiments(
     ``strict=True`` the first failure (in submission order) cancels any
     not-yet-started experiments and re-raises after its manifest is
     written.
+
+    Crash safety:
+
+    - ``retries=N`` re-runs a failing experiment up to N extra times with
+      exponential backoff (``retry_backoff_s * 2**attempt``) before its
+      failure is recorded. Incompatible with ``strict`` (which wants the
+      first failure re-raised, not retried).
+    - ``resume=<dir>`` skips every experiment that already has an ``ok``
+      manifest under ``<dir>/<id>/manifest.json`` from an earlier
+      (crashed or interrupted) batch; skipped experiments come back as
+      salvaged :class:`ExperimentRun` objects with the on-disk manifest
+      and ``result=None``.
+    - A worker process dying mid-batch (``BrokenProcessPool``) no longer
+      takes the whole batch down: completed results are salvaged, the
+      pool is recreated, and the unfinished experiments are resubmitted
+      up to ``retries`` times; anything still unfinished after that gets
+      a synthesized failed manifest instead of an exception.
+    - ``checkpoint_every=N`` asks every ``run_manager`` loop inside each
+      experiment to write a rolling full-state checkpoint under
+      ``out_dir/<id>/`` every N steps (see :func:`run_manager`).
     """
     if trace and out_dir is None:
         raise ConfigurationError("trace=True requires out_dir for the JSONL sinks")
+    if checkpoint_every is not None and out_dir is None:
+        raise ConfigurationError("checkpoint_every requires out_dir for the checkpoints")
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if retry_backoff_s < 0:
+        raise ConfigurationError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+    if strict and retries:
+        raise ConfigurationError(
+            "strict=True re-raises the first failure; combining it with "
+            "retries is contradictory — pick one"
+        )
     configs = configs or {}
     out_path = Path(out_dir) if out_dir is not None else None
     # The SHA of the code being run, not of whatever directory the caller
     # happens to be in. Resolved once, here, so workers never shell out.
     sha = git_sha(Path(__file__).resolve().parent)
-    effective_jobs = min(jobs, os.cpu_count() or 1, max(len(experiment_ids), 1))
-    if effective_jobs == 1 or len(experiment_ids) <= 1:
-        return [
-            _run_single(
+
+    results: Dict[str, ExperimentRun] = {}
+    pending: List[str] = []
+    for experiment_id in experiment_ids:
+        salvaged = _salvage_run(experiment_id, resume)
+        if salvaged is not None:
+            results[experiment_id] = salvaged
+        else:
+            pending.append(experiment_id)
+
+    def finish() -> List[ExperimentRun]:
+        return [results[experiment_id] for experiment_id in experiment_ids]
+
+    effective_jobs = min(jobs, os.cpu_count() or 1, max(len(pending), 1))
+    if effective_jobs == 1 or len(pending) <= 1:
+        for experiment_id in pending:
+            results[experiment_id] = _run_with_retries(
                 experiment_id, configs.get(experiment_id), sha, out_path,
-                trace, validate, reraise=strict,
+                trace, validate, strict, retries, retry_backoff_s,
+                checkpoint_every,
             )
-            for experiment_id in experiment_ids
-        ]
-    with ProcessPoolExecutor(max_workers=effective_jobs) as pool:
-        futures = [
-            pool.submit(
-                _run_single, experiment_id, configs.get(experiment_id), sha,
-                out_path, trace, validate, strict,
-            )
-            for experiment_id in experiment_ids
-        ]
-        try:
-            # Collect in submission order: deterministic result ordering,
-            # and under strict the first failure in that order wins.
-            return [future.result() for future in futures]
-        except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
+        return finish()
+
+    unfinished = list(pending)
+    pool_attempt = 0
+    while unfinished:
+        with ProcessPoolExecutor(max_workers=effective_jobs) as pool:
+            futures = {
+                experiment_id: pool.submit(
+                    _run_with_retries, experiment_id,
+                    configs.get(experiment_id), sha, out_path, trace,
+                    validate, strict, retries, retry_backoff_s,
+                    checkpoint_every,
+                )
+                for experiment_id in unfinished
+            }
+            try:
+                # Collect in submission order: deterministic result
+                # ordering, and under strict the first failure in that
+                # order wins.
+                for experiment_id, future in futures.items():
+                    results[experiment_id] = future.result()
+                unfinished = []
+            except BrokenProcessPool:
+                # A worker died hard (OOM kill, segfault, os._exit).
+                # Salvage everything that finished, then resubmit the rest
+                # to a fresh pool if the retry budget allows.
+                for experiment_id, future in futures.items():
+                    if (
+                        experiment_id not in results
+                        and future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        results[experiment_id] = future.result()
+                unfinished = [e for e in unfinished if e not in results]
+                pool_attempt += 1
+                if pool_attempt > retries:
+                    for experiment_id in unfinished:
+                        results[experiment_id] = _crashed_run(
+                            experiment_id, configs.get(experiment_id), sha,
+                            out_path,
+                        )
+                    unfinished = []
+                elif retry_backoff_s > 0:
+                    time.sleep(retry_backoff_s * 2 ** (pool_attempt - 1))
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+    return finish()
+
+
+def _salvage_run(
+    experiment_id: str, resume: Optional[Union[str, Path]]
+) -> Optional[ExperimentRun]:
+    """A completed run salvaged from an earlier batch's manifest, or None.
+
+    Only ``status == "ok"`` manifests are salvaged — failed or torn ones
+    mean the experiment should run again. The salvaged run carries
+    ``result=None`` (the Result object died with the original process);
+    callers that want tables must re-run, callers that want coverage
+    (which experiments still need work after a crash) get exactly that.
+    """
+    if resume is None:
+        return None
+    manifest_path = Path(resume) / experiment_id / "manifest.json"
+    if not manifest_path.exists():
+        return None
+    try:
+        manifest = RunManifest.read(manifest_path)
+    except Exception:
+        return None  # torn/corrupt manifest: re-run the experiment
+    if manifest.status != "ok":
+        return None
+    return ExperimentRun(experiment_id, manifest, None)
+
+
+def _crashed_run(
+    experiment_id: str,
+    config: Any,
+    sha: Optional[str],
+    out_path: Optional[Path],
+) -> ExperimentRun:
+    """Synthesize the failed manifest for an experiment whose worker died
+    without ever reporting back (the worker can't write it — it's gone)."""
+    manifest = RunManifest(
+        experiment_id=experiment_id,
+        seed=getattr(config, "seed", None),
+        config_hash=config_hash(config),
+        config=None if config is None else _config_dict(config),
+        git_sha=sha,
+        started_at=now_iso(),
+    )
+    manifest.status = "failed"
+    manifest.error = "worker process crashed (BrokenProcessPool)"
+    manifest.summary = {}
+    if out_path is not None:
+        manifest.write(out_path / experiment_id / "manifest.json")
+    return ExperimentRun(experiment_id, manifest, None)
+
+
+def _run_with_retries(
+    experiment_id: str,
+    config: Any,
+    sha: Optional[str],
+    out_path: Optional[Path],
+    trace: bool,
+    validate: bool,
+    reraise: bool,
+    retries: int,
+    retry_backoff_s: float,
+    checkpoint_every: Optional[int],
+) -> ExperimentRun:
+    """Run one experiment, retrying in-process failures with backoff.
+
+    Each attempt rewrites the manifest/trace from scratch, so the final
+    on-disk state always describes the last attempt; earlier failures
+    survive only in the returned run's manifest when every attempt fails.
+    """
+    for attempt in range(retries + 1):
+        run = _run_single(
+            experiment_id, config, sha, out_path, trace, validate, reraise,
+            checkpoint_every,
+        )
+        if run.ok or attempt == retries:
+            return run
+        if retry_backoff_s > 0:
+            time.sleep(retry_backoff_s * 2 ** attempt)
+    return run  # unreachable; keeps type checkers happy
 
 
 def _experiment_seed(experiment_id: str, config: Any) -> int:
@@ -324,6 +679,7 @@ def _run_single(
     trace: bool,
     validate: bool,
     reraise: bool,
+    checkpoint_every: Optional[int] = None,
 ) -> ExperimentRun:
     """Run one experiment end to end: seed, run, finalize its manifest.
 
@@ -348,6 +704,12 @@ def _run_single(
         sink = JsonlSink(trace_path, validate=validate)
         obs = ObsContext(sink=sink)
         manifest.trace_path = str(trace_path)
+    if checkpoint_every is not None:
+        # Checkpointing needs an ambient context even without tracing.
+        if obs is None:
+            obs = ObsContext()
+        obs.checkpoint_every = checkpoint_every
+        obs.checkpoint_dir = out_path / experiment_id
     # Experiments draw from generators seeded by their configs, but anything
     # that falls back to the global streams must behave identically whether
     # the batch ran serially or across workers — and must not depend on

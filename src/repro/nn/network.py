@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.ckpt.checkpoint import resolve_checkpoint_path
 from repro.errors import ConfigurationError, ShapeError
 from repro.nn.initializers import glorot_uniform
 from repro.nn.layers import Dense, Dropout, Layer, Parameter, ReLU, Sequential
@@ -98,12 +99,16 @@ def save_weights(parameters: Sequence[Parameter], path: Union[str, Path]) -> Non
     (reference) implementations.
     """
     arrays = {f"{i:04d}:{p.name}": p.value for i, p in enumerate(parameters)}
-    np.savez(Path(path), **arrays)
+    # resolve_checkpoint_path applies np.savez's ".npz"-appending rule up
+    # front so save and load agree on the on-disk name: np.savez("ckpt")
+    # writes ckpt.npz, and without the shared normalisation np.load("ckpt")
+    # would then fail to find it.
+    np.savez(resolve_checkpoint_path(path), **arrays)
 
 
 def load_weights(parameters: Sequence[Parameter], path: Union[str, Path]) -> None:
     """Load a parameter list saved with :func:`save_weights`."""
-    with np.load(Path(path)) as data:
+    with np.load(resolve_checkpoint_path(path)) as data:
         keys = sorted(data.files)
         if len(keys) != len(parameters):
             raise ShapeError(

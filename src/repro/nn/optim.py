@@ -5,11 +5,11 @@ The paper uses Adam with a learning rate of 0.0025 (Section IV).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.nn.layers import Parameter
 
 
@@ -211,6 +211,41 @@ class Adam(Optimizer):
                     chunk, grad[span], m_flat[span], v_flat[span],
                     chunk_buf[:chunk.size], step_scale, eps_hat, coeff_m, coeff_v,
                 )
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable optimiser state: step count plus per-parameter moments.
+
+        Moments are keyed by the parameter's position in ``self.parameters``
+        (as strings, so the tree survives a JSON round-trip). Lazily
+        unallocated moments (parameters never stepped) are simply absent
+        and stay zero-on-demand after a reload.
+        """
+        return {
+            "step_count": self._step_count,
+            "first_moment": {str(i): m.copy() for i, m in self._first_moment.items()},
+            "second_moment": {str(i): v.copy() for i, v in self._second_moment.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state produced by :meth:`state_dict` (stage-then-commit)."""
+        try:
+            step_count = int(state["step_count"])
+            first = {int(i): np.asarray(m) for i, m in dict(state.get("first_moment", {})).items()}
+            second = {int(i): np.asarray(v) for i, v in dict(state.get("second_moment", {})).items()}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed optimizer state: {exc}") from exc
+        for moments in (first, second):
+            for index, moment in moments.items():
+                if not 0 <= index < len(self.parameters):
+                    raise CheckpointError(f"optimizer state indexes unknown parameter {index}")
+                expected = self.parameters[index].value.shape
+                if moment.shape != expected:
+                    raise CheckpointError(
+                        f"optimizer moment shape {moment.shape} != parameter shape {expected}"
+                    )
+        self._step_count = step_count
+        self._first_moment = {i: m.astype(np.float64, copy=True) for i, m in first.items()}
+        self._second_moment = {i: v.astype(np.float64, copy=True) for i, v in second.items()}
 
     def _update_span(
         self, value, grad, m, v, buf, step_scale, eps_hat, coeff_m, coeff_v

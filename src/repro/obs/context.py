@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from pathlib import Path
+from typing import Iterator, Optional, Union
 
 from repro.obs.sink import NULL_SINK, TraceSink
 from repro.obs.timing import TimingRegistry
@@ -20,10 +21,18 @@ from repro.obs.timing import TimingRegistry
 
 @dataclass
 class ObsContext:
-    """A trace sink plus a timing registry, wired through a run together."""
+    """A trace sink plus a timing registry, wired through a run together.
+
+    ``checkpoint_every`` / ``checkpoint_dir`` ride along for the same
+    reason the sink does: experiment modules call
+    :func:`repro.experiments.runner.run_manager` internally, so the CLI's
+    ``--checkpoint-every`` flag needs an ambient seam to reach those runs.
+    """
 
     sink: TraceSink = NULL_SINK
     timings: TimingRegistry = field(default_factory=TimingRegistry)
+    checkpoint_every: Optional[int] = None
+    checkpoint_dir: Optional[Union[str, Path]] = None
 
 
 _ACTIVE: list = []

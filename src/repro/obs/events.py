@@ -129,6 +129,23 @@ EVENT_REGISTRY: Dict[str, EventSpec] = {
             ("mean_td_error", "float", "Mean absolute TD-error of the minibatch"),
         ),
         _spec(
+            "fault", "repro.sim.environment",
+            "An injected fault was active for a service this interval.",
+            ("service", "str", "Service the fault applies to"),
+            ("kind", "str", "Fault kind (pmc_dropout, pmc_nan, latency_spike, "
+                            "service_crash)"),
+            ("magnitude", "float", "Kind-specific severity knob"),
+            ("start", "int", "First interval the fault is active"),
+            ("duration", "int", "Number of intervals the fault stays active"),
+        ),
+        _spec(
+            "degraded", "repro.core.twig",
+            "Twig held its last allocation because telemetry for at least one "
+            "service was unusable (non-finite PMCs or latency).",
+            ("services", "list", "Services with unusable telemetry"),
+            ("held_allocation", "bool", "Whether the previous allocation was re-applied"),
+        ),
+        _spec(
             "run_end", "repro.experiments.runner",
             "Emitted after the last control interval of a run.",
             ("steps", "int", "Control intervals actually executed"),

@@ -10,11 +10,11 @@ importance of each state variable equally".
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Mapping, Optional, Sequence
+from typing import Any, Deque, Dict, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import CheckpointError, ConfigurationError, ShapeError
 from repro.pmc.counters import COUNTER_NAMES
 
 
@@ -43,6 +43,11 @@ class SystemMonitor:
         weights = np.arange(1, eta + 1, dtype=np.float64)
         self._weights = weights / weights.sum()
         self._history: Dict[str, Deque[np.ndarray]] = {}
+        #: Services whose most recent readings were rejected as non-finite
+        #: (sensor dropout / NaN faults). Cleared per service on the next
+        #: good sample. Twig uses this to hold its last allocation instead
+        #: of acting on garbage telemetry.
+        self.degraded: Set[str] = set()
 
     @property
     def state_dim(self) -> int:
@@ -60,11 +65,21 @@ class SystemMonitor:
 
         The returned vector is ordered like ``self.counters``, smoothed over
         up to ``eta`` past intervals, and normalised to [0, 1].
+
+        Non-finite readings (PMC dropout / NaN faults) are *not* appended:
+        they would poison the smoothing window for the next ``eta``
+        intervals. The service is flagged in :attr:`degraded` and the last
+        good smoothed state is returned unchanged (zeros when no good
+        sample was ever seen).
         """
         missing = [c for c in self.counters if c not in readings]
         if missing:
             raise ShapeError(f"readings missing counters: {missing}")
         raw = np.array([float(readings[c]) for c in self.counters])
+        if not np.all(np.isfinite(raw)):
+            self.degraded.add(service)
+            return self.state(service)
+        self.degraded.discard(service)
         history = self._history.setdefault(service, deque(maxlen=self.eta))
         history.append(raw)
         return self._normalise(self._smooth(history))
@@ -75,6 +90,38 @@ class SystemMonitor:
         if not history:
             return np.zeros(self.state_dim)
         return self._normalise(self._smooth(history))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable smoothing state: per-service raw history + flags."""
+        return {
+            "history": {
+                service: np.stack(list(history))
+                for service, history in self._history.items()
+                if history
+            },
+            "degraded": sorted(self.degraded),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot from :meth:`state_dict` (stage-then-commit)."""
+        try:
+            history = {
+                str(service): np.asarray(rows, dtype=np.float64)
+                for service, rows in dict(state["history"]).items()
+            }
+            degraded = {str(service) for service in list(state["degraded"])}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed monitor state: {exc}") from exc
+        for service, rows in history.items():
+            if rows.ndim != 2 or rows.shape[1] != self.state_dim or rows.shape[0] > self.eta:
+                raise CheckpointError(
+                    f"monitor history for {service!r} has shape {rows.shape}, "
+                    f"expected (<= {self.eta}, {self.state_dim})"
+                )
+        self._history = {
+            service: deque(list(rows), maxlen=self.eta) for service, rows in history.items()
+        }
+        self.degraded = degraded
 
     def _smooth(self, history: Deque[np.ndarray]) -> np.ndarray:
         stacked = np.stack(list(history))  # (n, counters), oldest first

@@ -10,14 +10,22 @@ colocated service.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import ClassVar, List, Optional, Sequence, Union
+from typing import Any, ClassVar, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.ckpt.checkpoint import (
+    checkpoint_kind,
+    load_state,
+    rng_state,
+    save_state,
+    set_rng_state,
+)
+from repro.errors import CheckpointError, ConfigurationError, ShapeError
 from repro.nn.network import load_weights, save_weights
 from repro.nn.optim import Adam
 from repro.obs.events import make_event
@@ -385,22 +393,256 @@ class BDQAgent:
     # ------------------------------------------------------------------ #
     # transfer learning & persistence
     # ------------------------------------------------------------------ #
-    def transfer(self, rng: Optional[np.random.Generator] = None, restart_epsilon_at: int = 0) -> None:
+    def transfer(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        restart_epsilon_at: Optional[int] = None,
+    ) -> None:
         """Adapt the trained agent to a new problem (Section IV).
 
         Re-randomises the output layer of every head, resyncs the target
-        network, and optionally rewinds the ε schedule to a mildly
-        exploratory point so new experience is gathered.
+        network, and — when ``restart_epsilon_at`` is given — rewinds the
+        ε schedule to that step so new experience is gathered.
+        ``restart_epsilon_at=0`` restarts exploration from scratch; the
+        sentinel is ``None`` (a falsy check here used to make the 0 rewind
+        unreachable), so omitting it leaves the schedule untouched.
         """
         rng = rng or self._rng
         self.online.reinitialize_output_layers(rng)
         self.target.copy_from(self.online)
-        if restart_epsilon_at:
-            self.step_count = restart_epsilon_at
+        if restart_epsilon_at is not None:
+            if restart_epsilon_at < 0:
+                raise ConfigurationError(
+                    f"restart_epsilon_at must be >= 0, got {restart_epsilon_at}"
+                )
+            self.step_count = int(restart_epsilon_at)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    #: Checkpoint kind tag for full agent state (see :mod:`repro.ckpt`).
+    CKPT_KIND: ClassVar[str] = "bdq_agent"
+
+    def _fused_optimizer(self) -> bool:
+        """True when the optimizer steps the network's single flat arena."""
+        flat = getattr(self.online, "_flat_param", None)
+        return (
+            flat is not None
+            and len(self.optimizer.parameters) == 1
+            and self.optimizer.parameters[0] is flat
+        )
+
+    def _optimizer_state(self) -> Dict[str, Any]:
+        """Optimizer state in the canonical per-``parameters()`` layout.
+
+        The fused implementation keeps one (m, v) pair for the whole
+        parameter arena; it is exported here as one entry per parameter
+        (via :meth:`BDQNetwork.arena_views`) so checkpoints stay
+        interchangeable with the reference per-parameter implementation.
+        Padded stack entries carry provably-zero moments (their gradients
+        are always zero), so the translation is lossless both ways.
+        """
+        opt = self.optimizer
+        state: Dict[str, Any] = {"step_count": opt._step_count}
+        first: Dict[str, np.ndarray] = {}
+        second: Dict[str, np.ndarray] = {}
+        if self._fused_optimizer():
+            flat_m = opt._first_moment.get(0)
+            flat_v = opt._second_moment.get(0)
+            if flat_m is not None and flat_v is not None:
+                views_m = self.online.arena_views(flat_m)
+                views_v = self.online.arena_views(flat_v)
+                first = {f"{i:04d}": view.copy() for i, view in enumerate(views_m)}
+                second = {f"{i:04d}": view.copy() for i, view in enumerate(views_v)}
+        else:
+            first = {f"{i:04d}": m.copy() for i, m in opt._first_moment.items()}
+            second = {f"{i:04d}": v.copy() for i, v in opt._second_moment.items()}
+        state["first_moment"] = first
+        state["second_moment"] = second
+        return state
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The complete training state as a checkpointable tree.
+
+        Covers everything resume needs for bit-exact continuation: both
+        networks, Adam moments and step, the replay buffer with its
+        sum-tree priorities, schedule counters, and the shared RNG stream
+        (one generator drives action noise, dropout masks, and replay
+        sampling for this agent).
+        """
+        params = self.online.parameters()
+        return {
+            "config": {
+                "state_dim": self.config.state_dim,
+                "branch_sizes": [list(branch) for branch in self.online.branch_sizes],
+            },
+            "online": {f"{i:04d}": p.value.copy() for i, p in enumerate(params)},
+            "target": {
+                f"{i:04d}": p.value.copy() for i, p in enumerate(self.target.parameters())
+            },
+            "optimizer": self._optimizer_state(),
+            "buffer_kind": (
+                "prioritized" if isinstance(self.buffer, PrioritizedReplayBuffer) else "uniform"
+            ),
+            "buffer": self.buffer.state_dict(),
+            "counters": {
+                "step_count": self.step_count,
+                "train_count": self.train_count,
+                "exploring_frozen": self.exploring_frozen,
+                "last_loss": self.last_loss,
+                "last_td_error": self.last_td_error,
+            },
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        """Restore state from :meth:`state_dict` (stage-then-commit).
+
+        Everything is parsed and shape-checked before the first mutation;
+        any mismatch raises :class:`CheckpointError` and leaves the agent
+        untouched.
+        """
+        params = self.online.parameters()
+        target_params = self.target.parameters()
+        try:
+            config = tree["config"]
+            state_dim = int(config["state_dim"])
+            branch_sizes = [list(map(int, branch)) for branch in config["branch_sizes"]]
+            online_tree = dict(tree["online"])
+            target_tree = dict(tree["target"])
+            optim_tree = dict(tree["optimizer"])
+            optim_steps = int(optim_tree["step_count"])
+            buffer_kind = str(tree["buffer_kind"])
+            buffer_tree = dict(tree["buffer"])
+            counters = dict(tree["counters"])
+            step_count = int(counters["step_count"])
+            train_count = int(counters["train_count"])
+            exploring_frozen = bool(counters["exploring_frozen"])
+            last_loss = counters.get("last_loss")
+            last_td_error = counters.get("last_td_error")
+            rng_tree = dict(tree["rng"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed agent checkpoint: {exc}") from exc
+        if state_dim != self.config.state_dim:
+            raise CheckpointError(
+                f"checkpoint state_dim {state_dim} != agent state_dim {self.config.state_dim}"
+            )
+        if branch_sizes != [list(branch) for branch in self.online.branch_sizes]:
+            raise CheckpointError(
+                f"checkpoint branch_sizes {branch_sizes} != agent "
+                f"branch_sizes {[list(b) for b in self.online.branch_sizes]}"
+            )
+        expected_kind = (
+            "prioritized" if isinstance(self.buffer, PrioritizedReplayBuffer) else "uniform"
+        )
+        if buffer_kind != expected_kind:
+            raise CheckpointError(
+                f"checkpoint replay kind {buffer_kind!r} != agent replay kind {expected_kind!r}"
+            )
+
+        def stage_weights(name: str, stored: Dict[str, Any], model_params) -> List[np.ndarray]:
+            if len(stored) != len(model_params):
+                raise CheckpointError(
+                    f"checkpoint {name} has {len(stored)} arrays, "
+                    f"model has {len(model_params)} parameters"
+                )
+            staged = []
+            for index, param in enumerate(model_params):
+                value = np.asarray(stored.get(f"{index:04d}"))
+                if value.shape != param.value.shape:
+                    raise CheckpointError(
+                        f"checkpoint {name}[{index}] shape {value.shape} != "
+                        f"parameter shape {param.value.shape}"
+                    )
+                staged.append(value)
+            return staged
+
+        online_values = stage_weights("online", online_tree, params)
+        target_values = stage_weights("target", target_tree, target_params)
+
+        def stage_moments(name: str) -> Dict[int, np.ndarray]:
+            staged: Dict[int, np.ndarray] = {}
+            for key, value in dict(optim_tree.get(name, {})).items():
+                try:
+                    index = int(key)
+                except ValueError as exc:
+                    raise CheckpointError(f"bad optimizer moment key {key!r}") from exc
+                if not 0 <= index < len(params):
+                    raise CheckpointError(f"optimizer moment indexes unknown parameter {index}")
+                value = np.asarray(value, dtype=np.float64)
+                if value.shape != params[index].value.shape:
+                    raise CheckpointError(
+                        f"optimizer {name}[{index}] shape {value.shape} != "
+                        f"parameter shape {params[index].value.shape}"
+                    )
+                staged[index] = value
+            return staged
+
+        first = stage_moments("first_moment")
+        second = stage_moments("second_moment")
+        if sorted(first) != sorted(second):
+            raise CheckpointError("optimizer first/second moment entries disagree")
+        # Pre-validate the RNG state against a scratch generator of the
+        # same bit-generator class, so a malformed state cannot fail after
+        # the commit has started.
+        scratch = np.random.Generator(type(self._rng.bit_generator)())
+        set_rng_state(scratch, rng_tree)
+
+        # ---- commit (buffer first: its load is itself stage-then-commit,
+        # so the only CheckpointError still possible leaves us untouched).
+        self.buffer.load_state_dict(buffer_tree)
+        for param, value in zip(params, online_values):
+            param.value[...] = value
+        for param, value in zip(target_params, target_values):
+            param.value[...] = value
+        opt = self.optimizer
+        opt._step_count = optim_steps
+        if self._fused_optimizer():
+            flat_param = opt.parameters[0]
+            if first:
+                flat_m = np.zeros_like(flat_param.value)
+                flat_v = np.zeros_like(flat_param.value)
+                for index, view in enumerate(self.online.arena_views(flat_m)):
+                    view[...] = first[index] if index in first else 0.0
+                for index, view in enumerate(self.online.arena_views(flat_v)):
+                    view[...] = second[index] if index in second else 0.0
+                opt._first_moment = {0: flat_m}
+                opt._second_moment = {0: flat_v}
+            else:
+                opt._first_moment = {}
+                opt._second_moment = {}
+        else:
+            opt._first_moment = {i: m.copy() for i, m in first.items()}
+            opt._second_moment = {i: v.copy() for i, v in second.items()}
+        self.step_count = step_count
+        self.train_count = train_count
+        self.exploring_frozen = exploring_frozen
+        self.last_loss = None if last_loss is None else float(last_loss)
+        self.last_td_error = None if last_td_error is None else float(last_td_error)
+        set_rng_state(self._rng, rng_tree)
 
     def save(self, path: Union[str, Path]) -> None:
-        save_weights(self.online.parameters(), path)
+        """Write a full-training-state checkpoint (atomic; see repro.ckpt)."""
+        save_state(path, self.CKPT_KIND, self.state_dict())
 
     def load(self, path: Union[str, Path]) -> None:
-        load_weights(self.online.parameters(), path)
-        self.target.copy_from(self.online)
+        """Restore from :meth:`save`; legacy weight-only ``.npz`` still loads.
+
+        Legacy checkpoints (pre-``repro.ckpt`` files written by
+        ``save_weights``) only carry the online network: the target is
+        resynced from it and a warning records that optimizer moments,
+        replay contents, schedule counters, and RNG streams could not be
+        restored — such an agent is usable but will not reproduce the
+        original run.
+        """
+        if checkpoint_kind(path) is None:
+            warnings.warn(
+                f"{path} is a legacy weight-only checkpoint: restoring network "
+                "weights only (optimizer moments, replay buffer, schedule "
+                "counters, and RNG state are not recoverable)",
+                stacklevel=2,
+            )
+            load_weights(self.online.parameters(), path)
+            self.target.copy_from(self.online)
+            return
+        self.load_state_dict(load_state(path, kind=self.CKPT_KIND))

@@ -604,6 +604,39 @@ class BDQNetwork:
                 params.extend(head.parameters())
         return params
 
+    def arena_views(self, flat: np.ndarray) -> List[np.ndarray]:
+        """Per-:meth:`parameters` views into ``flat`` laid out like the arena.
+
+        ``flat`` must be a contiguous float64 buffer shaped like the value
+        arena (``self._flat_param.value``). Each returned view addresses the
+        same offset/strides inside ``flat`` that the corresponding parameter
+        occupies inside the arena, which is what lets checkpoints translate
+        between the canonical per-parameter layout and the fused flat layout
+        (e.g. Adam moments stored per parameter, restored into one flat
+        moment array) without any index bookkeeping.
+        """
+        flat = np.asarray(flat)
+        base = self._flat_param.value
+        if flat.shape != base.shape or flat.dtype != base.dtype or not flat.flags.c_contiguous:
+            raise ShapeError(
+                f"arena buffer must be contiguous {base.dtype}{base.shape}, "
+                f"got {flat.dtype}{flat.shape}"
+            )
+        base_addr = base.__array_interface__["data"][0]
+        views = []
+        for param in self.parameters():
+            offset = param.value.__array_interface__["data"][0] - base_addr
+            views.append(
+                np.ndarray(
+                    param.value.shape,
+                    dtype=base.dtype,
+                    buffer=flat,
+                    offset=offset,
+                    strides=param.value.strides,
+                )
+            )
+        return views
+
     def optim_parameters(self) -> List[Parameter]:
         """Parameter grouping for the optimizer: the whole network, flat.
 

@@ -7,11 +7,11 @@ from 0.4 to 1 (Section IV).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Any, Dict, Mapping
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.rl.replay import ReplayBuffer
 from repro.rl.sum_tree import SumTree
 
@@ -66,6 +66,30 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         batch = self.gather(indices)
         batch["weights"] = weights
         return batch
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Buffer snapshot plus the sum tree and the running max priority."""
+        state = super().state_dict()
+        state["tree"] = self._tree.state_dict()
+        state["max_priority"] = self._max_priority
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        try:
+            tree_state = state["tree"]
+            max_priority = float(state["max_priority"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed prioritized-replay state: {exc}") from exc
+        if not (np.isfinite(max_priority) and max_priority > 0):
+            raise CheckpointError(f"max_priority must be finite and > 0, got {max_priority}")
+        # Commit the base buffer first (it validates before mutating), then
+        # the tree — whose own validation must therefore pass up front so a
+        # bad tree cannot leave a restored buffer with stale priorities.
+        staged_tree = SumTree(self.capacity)
+        staged_tree.load_state_dict(tree_state)
+        super().load_state_dict(state)
+        self._tree = staged_tree
+        self._max_priority = max_priority
 
     def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
         """Set new priorities from absolute TD errors (one batched update)."""

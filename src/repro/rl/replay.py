@@ -7,11 +7,11 @@ paper's buffer size of 10^6.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import CheckpointError, ConfigurationError, ShapeError
 
 
 class ReplayBuffer:
@@ -73,3 +73,60 @@ class ReplayBuffer:
         batch = {key: store[indices] for key, store in self._storage.items()}
         batch["indices"] = np.asarray(indices)
         return batch
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot of the buffer contents and ring position.
+
+        Only the filled rows (``[:len(self)]``) are stored per field; rows
+        past the size are all-zero by allocation, so re-zeroing them on
+        load reproduces the storage exactly. The sampling RNG is shared
+        with (and checkpointed by) the owning agent, not here.
+        """
+        fields = (
+            {}
+            if self._storage is None
+            else {key: store[: self._size].copy() for key, store in self._storage.items()}
+        )
+        return {
+            "capacity": self.capacity,
+            "size": self._size,
+            "next_index": self._next_index,
+            "fields": fields,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot from :meth:`state_dict` (stage-then-commit)."""
+        try:
+            capacity = int(state["capacity"])
+            size = int(state["size"])
+            next_index = int(state["next_index"])
+            fields = {key: np.asarray(value) for key, value in dict(state["fields"]).items()}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed replay-buffer state: {exc}") from exc
+        if capacity != self.capacity:
+            raise CheckpointError(
+                f"replay capacity mismatch: checkpoint {capacity}, buffer {self.capacity}"
+            )
+        if not (0 <= size <= capacity and 0 <= next_index < capacity):
+            raise CheckpointError(
+                f"inconsistent replay ring state: size={size}, next_index={next_index}"
+            )
+        if size > 0 and not fields:
+            raise CheckpointError(f"replay checkpoint claims {size} transitions but has no fields")
+        for key, value in fields.items():
+            if value.shape[:1] != (size,):
+                raise CheckpointError(
+                    f"replay field {key!r} has {value.shape[0] if value.ndim else 0} rows, "
+                    f"expected {size}"
+                )
+        if size == 0 or not fields:
+            storage = None
+        else:
+            storage = {
+                key: np.zeros((self.capacity,) + value.shape[1:]) for key, value in fields.items()
+            }
+            for key, value in fields.items():
+                storage[key][:size] = value
+        self._storage = storage
+        self._size = size if storage is not None else 0
+        self._next_index = next_index if storage is not None else 0

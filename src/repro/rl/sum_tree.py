@@ -14,9 +14,11 @@ instead of O(batch * log n) Python steps.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 
 
 class SumTree:
@@ -89,6 +91,33 @@ class SumTree:
                 mass -= left_sum
                 node = left + 1
         return node - self._leaf_count
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot: capacity plus the *whole* node array.
+
+        Internal sums are stored verbatim rather than recomputed from the
+        leaves on load: scalar :meth:`update` delta-adjusts ancestor sums,
+        so a recomputation could differ in the last ulp and break the
+        bit-exact resume guarantee.
+        """
+        return {"capacity": self.capacity, "tree": self._tree.copy()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot from :meth:`state_dict` (stage-then-commit)."""
+        try:
+            capacity = int(state["capacity"])
+            tree = np.asarray(state["tree"], dtype=np.float64)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed sum-tree state: {exc}") from exc
+        if capacity != self.capacity:
+            raise CheckpointError(
+                f"sum-tree capacity mismatch: checkpoint {capacity}, tree {self.capacity}"
+            )
+        if tree.shape != self._tree.shape:
+            raise CheckpointError(
+                f"sum-tree node-array shape mismatch: {tree.shape} != {self._tree.shape}"
+            )
+        self._tree = tree.copy()
 
     # ------------------------------------------------------------------ #
     # batched operations

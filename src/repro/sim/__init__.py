@@ -6,14 +6,21 @@
 - :mod:`repro.sim.environment` — wires machine, power, interference,
   services and telemetry into a single ``step(assignments)`` loop that
   task managers (Twig and the baselines) drive.
+- :mod:`repro.sim.faults` — deterministic fault injection (PMC
+  dropout/NaN, latency spikes, service crash-and-restart) applied to
+  step observations without perturbing the simulation's RNG streams.
 """
 
 from repro.sim.environment import ColocationEnvironment, EnvironmentConfig, ServiceObservation, StepResult
+from repro.sim.faults import FAULT_KINDS, Fault, FaultInjector
 from repro.sim.telemetry import TelemetrySynthesizer
 
 __all__ = [
     "ColocationEnvironment",
     "EnvironmentConfig",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
     "ServiceObservation",
     "StepResult",
     "TelemetrySynthesizer",

@@ -12,11 +12,12 @@ baseline controllers consume on real hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import AllocationError, ConfigurationError
+from repro.ckpt.checkpoint import rng_state, set_rng_state
+from repro.errors import AllocationError, CheckpointError, ConfigurationError
 from repro.obs.events import make_event
 from repro.obs.sink import NULL_SINK, TraceSink
 from repro.server.machine import CoreAssignment, Machine
@@ -26,6 +27,7 @@ from repro.services.interference import InterferenceModel, ServiceDemand
 from repro.services.loadgen import LoadGenerator
 from repro.services.profiles import ServiceProfile
 from repro.services.service import IntervalResult, LCService
+from repro.sim.faults import FaultInjector
 from repro.sim.telemetry import TelemetrySynthesizer
 
 
@@ -91,6 +93,7 @@ class ColocationEnvironment:
         rng: np.random.Generator,
         qos_targets: Optional[Mapping[str, float]] = None,
         trace: Optional[TraceSink] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         if not profiles:
             raise ConfigurationError("environment needs at least one service")
@@ -129,6 +132,10 @@ class ColocationEnvironment:
         # path costs one attribute lookup and branch per step.
         self.trace = trace or NULL_SINK
         self._violation_streaks: Dict[str, int] = {}
+        # Optional fault injection (see repro.sim.faults). Observations are
+        # mutated after the interval is simulated, so the env's RNG streams
+        # are identical with and without an injector.
+        self.faults = faults
 
     # ------------------------------------------------------------------ #
     # properties
@@ -211,6 +218,14 @@ class ColocationEnvironment:
             {self.config.socket_index: true_power}, interval_s=interval
         )
         self.time += 1
+        applied = []
+        if self.faults is not None:
+            # Injected after power/RAPL: sensor faults corrupt what the
+            # manager *sees*, not what the machine drew (a crashed service's
+            # cores still spin until the manager reclaims them).
+            observations, applied = self.faults.apply(
+                self.time, observations, self.services
+            )
         self.last_result = StepResult(
             time=self.time,
             observations=observations,
@@ -220,6 +235,18 @@ class ColocationEnvironment:
             energy_j=self.rapl.energy_j,
         )
         if self.trace.enabled:
+            for fault in applied:
+                self.trace.emit(
+                    make_event(
+                        "fault",
+                        self.time,
+                        service=fault.service,
+                        kind=fault.kind,
+                        magnitude=float(fault.magnitude),
+                        start=fault.start,
+                        duration=fault.duration,
+                    )
+                )
             self._emit_step_events(self.last_result)
         return self.last_result
 
@@ -343,6 +370,85 @@ class ColocationEnvironment:
             activity, membw_utilization=membw_util, online_cores=online
         )
         return breakdown.total_w
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Every mutable piece of simulator state, for bit-exact resume.
+
+        Covers the clock, violation streaks, machine core state, service
+        backlogs, the RAPL energy accumulator, the environment RNG stream
+        (shared by services/telemetry/RAPL), each load generator's private
+        RNG stream, and the fault injector's RNG when one is attached.
+        Configuration (profiles, spec, generators' schedules) is not
+        stored: a resume reconstructs the environment from the same config
+        and then restores this state into it.
+        """
+        tree: Dict[str, Any] = {
+            "time": self.time,
+            "violation_streaks": {
+                name: int(streak) for name, streak in self._violation_streaks.items()
+            },
+            "rng": rng_state(self._rng),
+            "machine": self.machine.state_dict(),
+            "rapl": self.rapl.state_dict(),
+            "services": {
+                name: service.state_dict() for name, service in self.services.items()
+            },
+            "loadgen_rng": {
+                name: rng_state(generator._rng)
+                for name, generator in self.load_generators.items()
+            },
+        }
+        if self.faults is not None:
+            tree["faults"] = self.faults.state_dict()
+        return tree
+
+    def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        """Restore a snapshot from :meth:`state_dict` (stage-then-commit)."""
+        try:
+            time = int(tree["time"])
+            streaks = {str(k): int(v) for k, v in dict(tree["violation_streaks"]).items()}
+            rng_tree = dict(tree["rng"])
+            machine_tree = dict(tree["machine"])
+            rapl_tree = dict(tree["rapl"])
+            service_trees = {str(k): dict(v) for k, v in dict(tree["services"]).items()}
+            loadgen_trees = {str(k): dict(v) for k, v in dict(tree["loadgen_rng"]).items()}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed environment checkpoint: {exc}") from exc
+        if time < 0:
+            raise CheckpointError(f"environment time must be >= 0, got {time}")
+        if set(service_trees) != set(self.services):
+            raise CheckpointError(
+                f"checkpoint has services {sorted(service_trees)}, "
+                f"environment has {sorted(self.services)}"
+            )
+        if set(loadgen_trees) != set(self.load_generators):
+            raise CheckpointError(
+                f"checkpoint has load generators {sorted(loadgen_trees)}, "
+                f"environment has {sorted(self.load_generators)}"
+            )
+        faults_tree = tree.get("faults")
+        if faults_tree is not None and self.faults is None:
+            raise CheckpointError(
+                "checkpoint carries fault-injector state but this environment "
+                "has no injector attached"
+            )
+        # Sub-component loads validate before mutating; order them so the
+        # most-validated (machine) commits first.
+        self.machine.load_state_dict(machine_tree)
+        self.rapl.load_state_dict(rapl_tree)
+        for name, service_tree in service_trees.items():
+            self.services[name].load_state_dict(service_tree)
+        set_rng_state(self._rng, rng_tree)
+        for name, generator_tree in loadgen_trees.items():
+            set_rng_state(self.load_generators[name]._rng, generator_tree)
+        if faults_tree is not None and self.faults is not None:
+            self.faults.load_state_dict(dict(faults_tree))
+        self.time = time
+        self._violation_streaks = streaks
+        self.last_result = None
 
     # ------------------------------------------------------------------ #
     # service swap (transfer-learning experiments)

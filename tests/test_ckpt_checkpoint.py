@@ -1,0 +1,173 @@
+"""Unit tests for the repro.ckpt checkpoint container.
+
+Covers the format contract: nested-tree round-trips, path normalisation,
+kind/version gating, legacy-file detection, torn-write recovery (a
+truncated file must raise ``CheckpointError``, never half-load), and the
+atomic-replace write path.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ckpt.checkpoint import (
+    CKPT_FORMAT,
+    CKPT_VERSION,
+    META_KEY,
+    checkpoint_kind,
+    load_state,
+    resolve_checkpoint_path,
+    rng_state,
+    save_state,
+    set_rng_state,
+)
+from repro.errors import CheckpointError
+
+
+def _tree():
+    return {
+        "weights": {
+            "layer0": np.arange(6, dtype=np.float64).reshape(2, 3),
+            "layer1": np.ones(4, dtype=np.float32),
+        },
+        "counters": {"step": 42, "loss": 0.125, "frozen": False, "last": None},
+        "names": ["a", "b"],
+        "empty": {},
+    }
+
+
+def test_roundtrip_preserves_tree_shape_and_values(tmp_path):
+    path = save_state(tmp_path / "state.npz", "test", _tree())
+    tree = load_state(path, kind="test")
+    assert np.array_equal(tree["weights"]["layer0"], _tree()["weights"]["layer0"])
+    assert tree["weights"]["layer1"].dtype == np.float32
+    assert tree["counters"] == {"step": 42, "loss": 0.125, "frozen": False, "last": None}
+    assert tree["names"] == ["a", "b"]
+    assert tree["empty"] == {}
+
+
+def test_suffixless_path_roundtrips(tmp_path):
+    written = save_state(tmp_path / "ckpt", "test", _tree())
+    assert written.name == "ckpt.npz"
+    # Loading through the suffix-less path applies the same normalisation.
+    tree = load_state(tmp_path / "ckpt", kind="test")
+    assert tree["counters"]["step"] == 42
+
+
+def test_resolve_matches_savez_appending_rule():
+    assert resolve_checkpoint_path("a/ckpt").name == "ckpt.npz"
+    assert resolve_checkpoint_path("a/ckpt.npz").name == "ckpt.npz"
+    # np.savez appends (never replaces) unknown suffixes.
+    assert resolve_checkpoint_path("a/ckpt.foo").name == "ckpt.foo.npz"
+
+
+def test_kind_tag_round_trips_and_gates_loading(tmp_path):
+    path = save_state(tmp_path / "a.npz", "bdq_agent", {"x": 1})
+    assert checkpoint_kind(path) == "bdq_agent"
+    with pytest.raises(CheckpointError, match="expected 'twig'"):
+        load_state(path, kind="twig")
+    assert load_state(path)["x"] == 1  # kind=None accepts anything
+
+
+def test_missing_file_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_state(tmp_path / "nope.npz")
+    with pytest.raises(FileNotFoundError):
+        checkpoint_kind(tmp_path / "nope.npz")
+
+
+def test_legacy_npz_detected_not_loaded(tmp_path):
+    path = tmp_path / "legacy.npz"
+    np.savez(path, w0=np.ones(3))
+    assert checkpoint_kind(path) is None
+    with pytest.raises(CheckpointError, match="legacy"):
+        load_state(path)
+
+
+def test_newer_version_rejected(tmp_path):
+    envelope = {
+        "format": CKPT_FORMAT,
+        "version": CKPT_VERSION + 1,
+        "kind": "test",
+        "scalars": {},
+    }
+    path = tmp_path / "future.npz"
+    meta = np.frombuffer(json.dumps(envelope).encode(), dtype=np.uint8)
+    np.savez(path, **{META_KEY: meta})
+    with pytest.raises(CheckpointError, match="version"):
+        load_state(path)
+
+
+def test_foreign_format_rejected(tmp_path):
+    envelope = {"format": "other.fmt", "version": 1, "kind": "test", "scalars": {}}
+    path = tmp_path / "foreign.npz"
+    meta = np.frombuffer(json.dumps(envelope).encode(), dtype=np.uint8)
+    np.savez(path, **{META_KEY: meta})
+    with pytest.raises(CheckpointError, match="not a repro.ckpt"):
+        load_state(path)
+
+
+def test_torn_file_raises_checkpoint_error(tmp_path):
+    path = save_state(tmp_path / "torn.npz", "test", _tree())
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(CheckpointError, match="unreadable"):
+        load_state(path)
+    with pytest.raises(CheckpointError, match="unreadable"):
+        checkpoint_kind(path)
+
+
+def test_save_replaces_atomically_and_leaves_no_tmp_files(tmp_path):
+    path = save_state(tmp_path / "state.npz", "test", {"v": 1})
+    save_state(tmp_path / "state.npz", "test", {"v": 2})
+    assert load_state(path)["v"] == 2
+    leftovers = [p for p in os.listdir(tmp_path) if p != "state.npz"]
+    assert leftovers == []
+
+
+def test_failed_save_keeps_previous_checkpoint(tmp_path):
+    path = save_state(tmp_path / "state.npz", "test", {"v": 1})
+    with pytest.raises(CheckpointError, match="not serialisable"):
+        save_state(path, "test", {"bad": object()})
+    assert load_state(path)["v"] == 1
+    leftovers = [p for p in os.listdir(tmp_path) if p != "state.npz"]
+    assert leftovers == []
+
+
+def test_reserved_and_separator_keys_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="invalid state tree key"):
+        save_state(tmp_path / "a.npz", "test", {"a/b": 1})
+    with pytest.raises(CheckpointError, match="invalid state tree key"):
+        save_state(tmp_path / "b.npz", "test", {META_KEY: 1})
+    with pytest.raises(CheckpointError, match="keys must be str"):
+        save_state(tmp_path / "c.npz", "test", {3: 1})
+
+
+@pytest.mark.parametrize("bit_generator", ["PCG64", "MT19937"])
+def test_rng_state_survives_container_roundtrip(tmp_path, bit_generator):
+    cls = getattr(np.random, bit_generator)
+    gen = np.random.Generator(cls(1234))
+    gen.normal(size=17)  # advance off the seed point
+    path = save_state(tmp_path / "rng.npz", "test", {"rng": rng_state(gen)})
+    other = np.random.Generator(cls(999))
+    set_rng_state(other, load_state(path)["rng"])
+    assert np.array_equal(gen.normal(size=32), other.normal(size=32))
+    assert gen.integers(0, 1 << 62) == other.integers(0, 1 << 62)
+
+
+def test_set_rng_state_rejects_garbage():
+    gen = np.random.default_rng(0)
+    with pytest.raises(CheckpointError, match="invalid RNG state"):
+        set_rng_state(gen, {"bit_generator": "PCG64", "state": "nonsense"})
+
+
+def test_numpy_scalars_serialise_in_envelope(tmp_path):
+    tree = {
+        "i": np.int64(7),
+        "f": np.float64(2.5),
+        "b": np.bool_(True),
+    }
+    loaded = load_state(save_state(tmp_path / "np.npz", "test", tree))
+    assert loaded == {"i": 7, "f": 2.5, "b": True}

@@ -161,6 +161,190 @@ def test_parallel_traces_are_per_worker_files(tmp_path, many_cpus):
         assert trace_path.exists()
 
 
+# ---------------------------------------------------------------------- #
+# crash safety: retries, resume salvage, worker-crash recovery
+# ---------------------------------------------------------------------- #
+def test_retries_recover_flaky_experiment(tmp_path, monkeypatch):
+    import repro.experiments.registry as registry
+
+    calls = []
+
+    def flaky(experiment_id, config=None):
+        calls.append(experiment_id)
+        if len(calls) == 1:
+            raise RuntimeError("transient")
+        return "fine"
+
+    monkeypatch.setattr(registry, "run_experiment", flaky)
+    runs = run_experiments(["mem"], out_dir=tmp_path, retries=2, retry_backoff_s=0.0)
+    assert runs[0].ok
+    assert runs[0].result == "fine"
+    assert calls == ["mem", "mem"]  # failed once, retried once, stopped
+    manifest = RunManifest.read(tmp_path / "mem" / "manifest.json")
+    assert manifest.status == "ok"  # final attempt wins on disk
+
+
+def test_retries_exhausted_records_last_failure(tmp_path, monkeypatch):
+    import repro.experiments.registry as registry
+
+    calls = []
+
+    def exploding(experiment_id, config=None):
+        calls.append(experiment_id)
+        raise RuntimeError("kaboom")
+
+    monkeypatch.setattr(registry, "run_experiment", exploding)
+    runs = run_experiments(["mem"], out_dir=tmp_path, retries=2, retry_backoff_s=0.0)
+    assert not runs[0].ok
+    assert "kaboom" in runs[0].manifest.error
+    assert calls == ["mem"] * 3  # initial attempt + 2 retries
+
+
+def test_strict_and_retries_are_mutually_exclusive():
+    with pytest.raises(ConfigurationError, match="pick one"):
+        run_experiments(["mem"], strict=True, retries=1)
+
+
+def test_retry_knobs_validated():
+    with pytest.raises(ConfigurationError, match="retries"):
+        run_experiments(["mem"], retries=-1)
+    with pytest.raises(ConfigurationError, match="retry_backoff_s"):
+        run_experiments(["mem"], retry_backoff_s=-0.5)
+
+
+def test_resume_skips_only_ok_manifests(tmp_path, monkeypatch):
+    import repro.experiments.registry as registry
+
+    # First batch completes "mem" for real, then "crashes" before tab02.
+    first = run_experiments(["mem"], out_dir=tmp_path)
+    assert first[0].ok
+    # A torn manifest (the crash interrupted the write) must be re-run.
+    torn_dir = tmp_path / "tab02"
+    torn_dir.mkdir()
+    (torn_dir / "manifest.json").write_text('{"experiment_id": "tab')
+
+    calls = []
+
+    def counting(experiment_id, config=None):
+        calls.append(experiment_id)
+        return "fine"
+
+    monkeypatch.setattr(registry, "run_experiment", counting)
+    runs = run_experiments(["mem", "tab02"], out_dir=tmp_path, resume=tmp_path)
+    assert [r.experiment_id for r in runs] == ["mem", "tab02"]
+    assert [r.ok for r in runs] == [True, True]
+    # "mem" was salvaged from its manifest, not re-run; its in-memory
+    # Result object died with the original batch.
+    assert calls == ["tab02"]
+    assert runs[0].result is None
+    assert runs[1].result == "fine"
+
+
+def test_resume_reruns_failed_manifests(tmp_path, monkeypatch):
+    import repro.experiments.registry as registry
+
+    def exploding(experiment_id, config=None):
+        raise RuntimeError("kaboom")
+
+    monkeypatch.setattr(registry, "run_experiment", exploding)
+    first = run_experiments(["mem"], out_dir=tmp_path)
+    assert not first[0].ok
+
+    def fixed(experiment_id, config=None):
+        return "fine"
+
+    monkeypatch.setattr(registry, "run_experiment", fixed)
+    runs = run_experiments(["mem"], out_dir=tmp_path, resume=tmp_path)
+    assert runs[0].ok
+    assert runs[0].result == "fine"
+
+
+def test_worker_crash_recovers_with_retries(tmp_path, monkeypatch, many_cpus):
+    """A worker dying hard (os._exit) breaks the pool; with retries the
+    batch salvages finished work, rebuilds the pool, and completes."""
+    import repro.experiments.registry as registry
+
+    sentinel = tmp_path / "crashed-once"
+
+    def crash_once(experiment_id, config=None):
+        if experiment_id == "tab02" and not sentinel.exists():
+            sentinel.touch()
+            import os as _os
+
+            _os._exit(13)  # no exception, no manifest: the process is gone
+        return "fine"
+
+    monkeypatch.setattr(registry, "run_experiment", crash_once)
+    out = tmp_path / "runs"
+    runs = run_experiments(
+        ["mem", "tab02"], out_dir=out, jobs=2, retries=1, retry_backoff_s=0.0
+    )
+    assert [r.experiment_id for r in runs] == ["mem", "tab02"]
+    assert [r.ok for r in runs] == [True, True]
+    assert sentinel.exists()
+    for run in runs:
+        manifest = RunManifest.read(out / run.experiment_id / "manifest.json")
+        assert manifest.status == "ok"
+
+
+def test_worker_crash_without_retries_synthesizes_manifests(
+    tmp_path, monkeypatch, many_cpus
+):
+    import repro.experiments.registry as registry
+
+    def always_crash(experiment_id, config=None):
+        import os as _os
+
+        _os._exit(13)
+
+    monkeypatch.setattr(registry, "run_experiment", always_crash)
+    runs = run_experiments(
+        ["mem", "tab02"], out_dir=tmp_path, jobs=2, retries=0, retry_backoff_s=0.0
+    )
+    assert [r.ok for r in runs] == [False, False]
+    for run in runs:
+        assert "worker process crashed" in run.manifest.error
+        manifest = RunManifest.read(tmp_path / run.experiment_id / "manifest.json")
+        assert manifest.status == "failed"
+        assert "BrokenProcessPool" in manifest.error
+
+
+def test_checkpoint_every_requires_out_dir():
+    with pytest.raises(ConfigurationError, match="checkpoint_every"):
+        run_experiments(["mem"], checkpoint_every=10)
+
+
+def test_run_manager_uses_ambient_checkpoint_context(tmp_path):
+    from repro.experiments.runner import RUN_CKPT_NAME
+    from repro.obs.context import ObsContext, activate
+
+    from repro.core.twig import Twig, TwigConfig
+
+    env = _env()
+    twig = Twig(
+        [get_profile("masstree")], TwigConfig.fast(), np.random.default_rng(7),
+        spec=ServerSpec(),
+    )
+    obs = ObsContext(checkpoint_every=5, checkpoint_dir=tmp_path)
+    with activate(obs):
+        run_manager(twig, env, 12)
+    assert (tmp_path / RUN_CKPT_NAME).exists()
+
+
+def test_ambient_checkpointing_skips_incapable_managers(tmp_path):
+    """`repro run --checkpoint-every` reaches every run inside an
+    experiment, including baseline comparison runs; a manager without
+    state_dict must run uncheckpointed, not fail the experiment."""
+    from repro.experiments.runner import RUN_CKPT_NAME
+    from repro.obs.context import ObsContext, activate
+
+    obs = ObsContext(checkpoint_every=5, checkpoint_dir=tmp_path)
+    with activate(obs):
+        trace = run_manager(StaticManager(["masstree"]), _env(), 12)
+    assert trace.steps() == 12
+    assert not (tmp_path / RUN_CKPT_NAME).exists()
+
+
 def test_to_csv_roundtrip(tmp_path):
     import csv
 

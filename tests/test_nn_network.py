@@ -63,6 +63,20 @@ def test_save_load_roundtrip(tmp_path, rng):
     assert np.allclose(net.forward(x), other.forward(x))
 
 
+def test_save_load_roundtrip_suffixless_path(tmp_path, rng):
+    """Regression: ``np.savez`` appends ``.npz`` to suffix-less paths but
+    loading used the raw path, so a save/load pair with the same path
+    argument failed with FileNotFoundError."""
+    net = MLP([3, 8, 2], rng)
+    other = MLP([3, 8, 2], np.random.default_rng(99))
+    path = tmp_path / "weights"  # no suffix on either side
+    save_weights(net.parameters(), path)
+    load_weights(other.parameters(), path)
+    x = rng.normal(size=(5, 3))
+    assert np.allclose(net.forward(x), other.forward(x))
+    assert (tmp_path / "weights.npz").exists()
+
+
 def test_load_rejects_wrong_architecture(tmp_path, rng):
     net = MLP([3, 8, 2], rng)
     path = tmp_path / "weights.npz"

@@ -38,6 +38,10 @@ SAMPLE_PAYLOADS = {
         step=100, train_count=50, loss=0.25, epsilon=0.5, beta=0.6,
         buffer_size=1000, mean_td_error=0.1,
     ),
+    "fault": dict(
+        service="masstree", kind="pmc_dropout", magnitude=1.0, start=5, duration=3
+    ),
+    "degraded": dict(services=["masstree"], held_allocation=True),
     "run_end": dict(steps=10, wall_time_s=1.25),
 }
 

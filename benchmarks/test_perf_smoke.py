@@ -8,7 +8,11 @@ Unlike the paper-artifact benchmarks, these measure the *harness itself*:
   ``PrioritizedReplayBuffer.sample`` / ``SumTree.find_batch`` path;
 - the fused head-bank ``BDQAgent.train_step`` / ``act`` vs the frozen
   per-head loop implementation (:mod:`repro.rl.bdq_reference`), at 1, 2
-  and 4 colocated agents.
+  and 4 colocated agents;
+- the vectorized rollout engine: the fleet agent's fused train step and
+  batched act at 1, 2 and 4 colocated agents, and the end-to-end
+  experiment-suite throughput of ``--engine vector`` vs the serial
+  scalar loop.
 
 Each test appends its measurement to ``BENCH_perf_smoke.json`` at the repo
 root so the performance trajectory is recorded across PRs. Run via
@@ -27,6 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.engine.fleet import FleetBDQAgent
+from repro.experiments.fleet import FleetConfig, run as run_fleet_experiment
 from repro.experiments.runner import run_experiments
 from repro.rl.agent import BDQAgent, BDQAgentConfig, Transition
 from repro.rl.bdq_reference import ReferenceBDQAgent
@@ -288,6 +294,133 @@ def test_checkpoint_roundtrip(tmp_path):
         # The bar: both directions comfortably inside one control interval.
         assert save_s < 1.0 and load_s < 1.0, results
     _record("checkpoint_roundtrip", results)
+
+
+def _fleet_agent(num_agents: int, num_envs: int = 8, seed: int = 0) -> FleetBDQAgent:
+    """A fleet agent with every replay stripe warmed up.
+
+    Shaped like the network the vector engine actually deploys
+    (``TwigConfig.fast()``: 128-64 trunk, 32-wide heads) rather than the
+    paper's 512-256 offline shape — the <5 ms bar below is about the
+    engine's per-tick learning cost, and this is the tick it runs.
+    """
+    config = BDQAgentConfig(
+        state_dim=11 * num_agents,
+        branch_sizes=[[18, 9]] * num_agents,
+        batch_size=64,
+        min_buffer_size=64,
+        buffer_capacity=4_096,
+        shared_hidden=(128, 64),
+        branch_hidden=32,
+        dropout=0.1,
+    )
+    agent = FleetBDQAgent(config, np.random.default_rng(seed), num_envs=num_envs)
+    feeder = np.random.default_rng(seed + 1)
+    for i in range(32 * num_envs):
+        actions = [
+            [int(feeder.integers(0, n)) for n in branch]
+            for branch in config.branch_sizes
+        ]
+        agent.striped.add(
+            i % num_envs,
+            {
+                "state": feeder.normal(size=config.state_dim),
+                "actions": np.asarray(
+                    [a for branch in actions for a in branch], dtype=np.float64
+                ),
+                "rewards": feeder.normal(size=num_agents),
+                "next_state": feeder.normal(size=config.state_dim),
+                "done": np.asarray(0.0),
+            },
+        )
+    agent.step_count = 300  # past min_buffer_size bookkeeping
+    return agent
+
+
+def test_vector_rollout_train_and_act():
+    """Fleet-agent hot path: ONE fused train round / act per tick for N envs.
+
+    The tentpole target: the fused train step (one minibatch sampled
+    across all replay stripes, one forward/backward) stays under 5 ms at
+    4 colocated agents, so a fleet tick's learning cost is amortised
+    across however many environments share the agent.
+    """
+    num_envs = 8
+    rounds = {1: 40, 2: 30, 4: 20}
+    results = {}
+    for num_agents, n in rounds.items():
+        agent = _fleet_agent(num_agents, num_envs=num_envs)
+        states = np.random.default_rng(9).normal(
+            size=(num_envs, agent.config.state_dim)
+        )
+        for _ in range(3):  # warm up optimizer state / fast-path buffers
+            agent.train_step()
+            agent.act_batch(states)
+        train_s = _best_block_s(agent.train_step, n)
+        act_s = _best_block_s(lambda: agent.act_batch(states), n, per_block=4)
+        results[f"agents_{num_agents}"] = {
+            "num_envs": num_envs,
+            "batch_size": 64,
+            "rounds": n,
+            "train_ms": round(train_s * 1e3, 3),
+            "act_batch_us": round(act_s * 1e6, 1),
+        }
+        print(
+            f"\nfleet train_step ({num_agents} agents, {num_envs} envs, batch 64): "
+            f"{train_s * 1e3:.2f}ms; act_batch {act_s * 1e6:.0f}us"
+        )
+    _record("vector_rollout", results)
+    # The acceptance bar: one fused train round stays well inside a 1 s
+    # control interval at the paper's largest colocation shape.
+    assert results["agents_4"]["train_ms"] < 5.0, results
+
+
+def test_experiment_suite_throughput(tmp_path):
+    """End-to-end: N lock-step experiments via --engine vector vs serial.
+
+    The scalar side runs N independent ``run_manager`` loops (one Twig,
+    one environment each); the vector side steps all N through one fused
+    act/train path. Speedup is recorded, not asserted: it depends on the
+    benchmark machine (BLAS threading, cache sizes), and the cpu count
+    recorded alongside is what makes it interpretable across machines.
+    """
+    num_envs, steps = 8, 250
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    base = dict(
+        num_envs=num_envs,
+        steps=steps,
+        epsilon_mid_steps=100,
+        epsilon_final_steps=200,
+        window=100,
+    )
+
+    t0 = time.perf_counter()
+    vector = run_fleet_experiment(FleetConfig(engine="vector", **base))
+    vector_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar = run_fleet_experiment(FleetConfig(engine="scalar", **base))
+    scalar_s = time.perf_counter() - t0
+
+    assert vector.num_envs == scalar.num_envs == num_envs
+    assert all(np.isfinite(p) for p in vector.mean_power_w)
+
+    speedup = scalar_s / vector_s
+    print(
+        f"\nfleet suite ({num_envs} envs x {steps} steps, {cpus} cpus): "
+        f"scalar {scalar_s:.2f}s, vector {vector_s:.2f}s, {speedup:.2f}x"
+    )
+    _record(
+        "experiment_suite_throughput",
+        {
+            "num_envs": num_envs,
+            "steps": steps,
+            "cpus": cpus,
+            "scalar_s": round(scalar_s, 3),
+            "vector_s": round(vector_s, 3),
+            "speedup": round(speedup, 2),
+        },
+    )
 
 
 def test_parallel_runner_vs_serial(tmp_path):

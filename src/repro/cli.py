@@ -95,6 +95,15 @@ def _config_for(experiment_id: str, scale: str) -> Optional[Any]:
         from repro.experiments.tab01_pmc_selection import Tab01Config
 
         return Tab01Config(seconds_per_point=8)
+    if experiment_id == "fleet":
+        from repro.experiments.fleet import FleetConfig
+
+        if scale == "quick":
+            return FleetConfig(
+                num_envs=4, steps=150, epsilon_mid_steps=60,
+                epsilon_final_steps=120, window=60,
+            )
+        return FleetConfig()
     return None
 
 
@@ -109,7 +118,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     experiments = args.experiment
     batch_flags = (
         args.trace or args.strict or args.out_dir or args.retries
-        or args.resume or args.checkpoint_every
+        or args.resume or args.checkpoint_every or args.engine != "auto"
     )
     if len(experiments) == 1 and not batch_flags:
         # Single untraced run: no manifest machinery, just the table.
@@ -133,6 +142,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         resume=args.resume,
         checkpoint_every=args.checkpoint_every,
+        engine=args.engine,
     )
     failed = 0
     for run in runs:
@@ -347,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a rolling full-state run checkpoint "
              "(<out-dir>/<id>/run.ckpt.npz) every N control intervals "
              "inside each experiment",
+    )
+    run_parser.add_argument(
+        "--engine", choices=("auto", "serial", "pool", "vector"), default="auto",
+        help="batch execution engine: auto picks pool vs serial from the "
+             "usable CPU count; vector routes engine-aware experiments "
+             "(e.g. fleet) through the batched in-process rollout engine",
     )
     run_parser.set_defaults(func=cmd_run)
 

@@ -1,0 +1,26 @@
+"""Batched in-process rollout engine.
+
+Runs N experiments/environments in lock-step inside one process:
+
+- :mod:`repro.engine.vector_env` — :class:`VectorEnvironment` steps every
+  environment's queueing, interference, telemetry, and power math as
+  array-shaped NumPy over an (env, service) grid;
+- :mod:`repro.engine.fleet` — :class:`FleetBDQAgent` routes all envs'
+  observations through one fused HeadBank forward and trains once per tick
+  from a striped prioritized replay buffer; :class:`FleetTwig` is the
+  matching N-environment task manager;
+- :mod:`repro.engine.rollout` — the lock-step rollout loop with per-env
+  deterministic seeding, per-env traces, and checkpoint/resume.
+
+The scalar path (:class:`repro.sim.environment.ColocationEnvironment` +
+the per-experiment loop in :mod:`repro.experiments.runner`) is retained as
+the equivalence oracle.
+"""
+
+from repro.engine.vector_env import ENV_SEED_STRIDE, VectorEnvironment, make_sibling_environment
+
+__all__ = [
+    "ENV_SEED_STRIDE",
+    "VectorEnvironment",
+    "make_sibling_environment",
+]

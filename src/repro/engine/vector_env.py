@@ -1,0 +1,587 @@
+"""Batched lock-step simulation of N colocation environments.
+
+:class:`VectorEnvironment` wraps N homogeneous
+:class:`~repro.sim.environment.ColocationEnvironment` instances and
+advances all of them through one control interval per :meth:`step` call
+with array-shaped math: per-(env x service) arrival/backlog/queueing
+state, the batched Erlang-C kernel
+(:func:`repro.services.queueing.erlang_c_batch`), vectorized interference
+resolution, telemetry synthesis, and the ground-truth power model, all as
+``(E, S)`` / ``(E, C)`` NumPy operations.
+
+Draw-for-draw RNG fidelity
+--------------------------
+The wrapped environments remain the source of truth for all mutable
+state (machine cores, service backlogs, RAPL energy, RNG streams), and
+the vector step consumes their RNG streams in exactly the order the
+scalar ``ColocationEnvironment.step`` would:
+
+- each load generator's *private* RNG draws its jitter normal first
+  (one per service, in service order);
+- the environment's *shared* RNG then draws, per service in service
+  order, one latency normal (iff ``latency_noise_std > 0``) followed by
+  eleven telemetry normals (iff ``telemetry_noise_std > 0``), and
+  finally one RAPL normal (always).
+
+The shared draws are taken as a single ``standard_normal(total)`` block
+per environment and scattered; ``Generator.normal(0, s)`` equals
+``s * standard_normal()`` bitwise, and array draws continue the same
+stream as repeated scalar draws, so a wrapped environment's RNG state
+after a vector step is identical to the state after a scalar step.
+
+The scalar per-environment path is retained untouched as the
+equivalence oracle: stepping the same seeds through
+``ColocationEnvironment.step`` reproduces the vector trajectories (see
+``tests/test_engine_vector.py``).
+
+Only the gather/scatter against the wrapped environments' Python
+objects (machine state in, backlogs/energy/results out) and the
+control-plane ``Machine.apply`` run per environment; every numeric
+formula on the hot path is evaluated once over the whole batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError, CheckpointError, ConfigurationError
+from repro.obs.events import make_event
+from repro.server.machine import CoreAssignment
+from repro.services.loadgen import ConstantLoad
+from repro.services.profiles import get_profile
+from repro.services.queueing import erlang_c_batch
+from repro.services.service import IntervalResult
+from repro.sim.environment import (
+    ColocationEnvironment,
+    EnvironmentConfig,
+    ServiceObservation,
+    StepResult,
+    effective_capacity_matrix,
+)
+
+#: Seed stride between sibling environments created by
+#: :meth:`VectorEnvironment.from_services`; large and prime so the
+#: derived per-generator seeds of different environments never collide.
+ENV_SEED_STRIDE = 100003
+
+#: Raw counter names in the exact order ``TelemetrySynthesizer.synthesize``
+#: builds (and therefore noises) them.
+_COUNTER_ORDER = (
+    "UNHALTED_CORE_CYCLES",
+    "INSTRUCTION_RETIRED",
+    "PERF_COUNT_HW_CPU_CYCLES",
+    "UNHALTED_REFERENCE_CYCLES",
+    "UOPS_RETIRED",
+    "BRANCH_INSTRUCTIONS_RETIRED",
+    "MISPREDICTED_BRANCH_RETIRED",
+    "PERF_COUNT_HW_BRANCH_MISSES",
+    "LLC_MISSES",
+    "PERF_COUNT_HW_CACHE_L1D",
+    "PERF_COUNT_HW_CACHE_L1I",
+)
+
+
+class VectorEnvironment:
+    """N homogeneous colocation environments stepped in lock-step."""
+
+    def __init__(self, envs: Sequence[ColocationEnvironment]):
+        if not envs:
+            raise ConfigurationError("VectorEnvironment needs at least one environment")
+        self.envs: List[ColocationEnvironment] = list(envs)
+        self.num_envs = len(self.envs)
+        base = self.envs[0]
+        self.names: List[str] = list(base.services)
+        self.config = base.config
+        self.spec = base.spec
+        self._validate_homogeneous()
+
+        profiles = [base.services[name].profile for name in self.names]
+        as_array = lambda attr: np.array(  # noqa: E731 - tiny stacking helper
+            [getattr(p, attr) for p in profiles], dtype=np.float64
+        )
+        self._cpu_ms = as_array("cpu_ms_per_req")
+        self._serial_fraction = as_array("serial_fraction")
+        self._floor_ms = as_array("floor_q99_ms")
+        self._cv2 = as_array("cv2")
+        self._alpha = as_array("freq_sensitivity")
+        self._membw_per_req = as_array("membw_per_req_mb")
+        self._working_set = as_array("llc_working_set_mb")
+        self._membw_sens = as_array("membw_sensitivity")
+        self._llc_sens = as_array("llc_sensitivity")
+        self._instr_per_req = as_array("instr_per_req_m")
+        self._llc_mpki = as_array("llc_mpki")
+        self._l1d_mpki = as_array("l1d_mpki")
+        self._l1i_mpki = as_array("l1i_mpki")
+        self._bpi = as_array("branch_per_instr")
+        self._bmr = as_array("branch_miss_rate")
+        self._uops = as_array("uops_per_instr")
+        self._aiu = as_array("active_idle_util")
+        self._qos_target = np.array(
+            [base.services[name].qos_target_ms for name in self.names], dtype=np.float64
+        )
+        self._ladder = np.array(
+            self.spec.dvfs.frequencies_ghz, dtype=np.float64
+        )
+        self._core_ids = base.socket_core_ids
+        self._column = {cid: j for j, cid in enumerate(self._core_ids)}
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_services(
+        cls,
+        services: Sequence[str],
+        load_fractions: Mapping[str, float],
+        num_envs: int,
+        seed: int,
+        config: Optional[EnvironmentConfig] = None,
+        qos_targets: Optional[Mapping[str, float]] = None,
+    ) -> "VectorEnvironment":
+        """Build N sibling environments with deterministic per-env seeding.
+
+        Environment ``e`` uses base seed ``seed + e * ENV_SEED_STRIDE``
+        and then follows the same recipe as
+        :func:`repro.experiments.common.make_environment` (env RNG at the
+        base seed, load generator ``i`` at ``base + 101 + i``), so
+        environment 0 of a vector run is seed-for-seed identical to a
+        scalar run at ``seed``.
+        """
+        if num_envs <= 0:
+            raise ConfigurationError(f"num_envs must be positive, got {num_envs}")
+        envs = [
+            make_sibling_environment(
+                services, load_fractions, seed + e * ENV_SEED_STRIDE, config, qos_targets
+            )
+            for e in range(num_envs)
+        ]
+        return cls(envs)
+
+    def _validate_homogeneous(self) -> None:
+        base = self.envs[0]
+        for e, env in enumerate(self.envs):
+            if env.faults is not None:
+                raise ConfigurationError(
+                    "VectorEnvironment does not support fault injection; "
+                    f"environment {e} has an injector attached "
+                    "(use the scalar engine for fault studies)"
+                )
+            if list(env.services) != self.names:
+                raise ConfigurationError(
+                    f"environment {e} hosts services {list(env.services)}, "
+                    f"environment 0 hosts {self.names}"
+                )
+            if env.config != base.config:
+                raise ConfigurationError(
+                    f"environment {e} config differs from environment 0; "
+                    "vector batches must be homogeneous"
+                )
+            for name in self.names:
+                if env.services[name].profile != base.services[name].profile:
+                    raise ConfigurationError(
+                        f"environment {e} profile for {name!r} differs from environment 0"
+                    )
+                if env.services[name].qos_target_ms != base.services[name].qos_target_ms:
+                    raise ConfigurationError(
+                        f"environment {e} QoS target for {name!r} differs from environment 0"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def service_names(self) -> List[str]:
+        return list(self.names)
+
+    @property
+    def time(self) -> int:
+        return self.envs[0].time
+
+    def max_power_w(self) -> float:
+        return self.envs[0].max_power_w()
+
+    def qos_target_of(self, name: str) -> float:
+        return self.envs[0].qos_target_of(name)
+
+    def profile_of(self, name: str):
+        return self.envs[0].profile_of(name)
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    def step(
+        self, assignments: Sequence[Mapping[str, CoreAssignment]]
+    ) -> List[StepResult]:
+        """Install per-env assignments and advance every env one interval."""
+        if len(assignments) != self.num_envs:
+            raise ConfigurationError(
+                f"got assignments for {len(assignments)} environments, "
+                f"batch has {self.num_envs}"
+            )
+        E, S, C = self.num_envs, len(self.names), len(self._core_ids)
+        interval = self.config.interval_s
+
+        # Control plane: validate and install placements per environment.
+        for env, assignment in zip(self.envs, assignments):
+            if set(assignment) != set(env.services):
+                raise AllocationError(
+                    f"assignments for {sorted(assignment)} but services are "
+                    f"{sorted(env.services)}"
+                )
+            env._check_socket(assignment)
+            env.machine.apply(assignment)
+
+        # Arrivals consume each generator's private RNG stream exactly as
+        # the scalar path does (one jitter normal per generator).
+        arrivals = np.empty((E, S))
+        for e, env in enumerate(self.envs):
+            for i, name in enumerate(self.names):
+                arrivals[e, i] = env.load_generators[name].rate(env.time)
+
+        # Gather the installed machine state into stacked arrays.
+        membership = np.zeros((E, S, C), dtype=bool)
+        online = np.zeros((E, C), dtype=bool)
+        freq_index = np.zeros((E, C), dtype=np.int64)
+        n_cores = np.zeros((E, S))
+        freq = np.empty((E, S))
+        backlog = np.empty((E, S))
+        llc_quota = np.empty((E, S))
+        mb_per_way = self.spec.socket.mb_per_way
+        for e, env in enumerate(self.envs):
+            for j, cid in enumerate(self._core_ids):
+                core = env.machine.cores[cid]
+                online[e, j] = core.online
+                freq_index[e, j] = core.freq_index
+            for i, name in enumerate(self.names):
+                cores = env.machine.cores_of(name)
+                n_cores[e, i] = len(cores)
+                for core in cores:
+                    membership[e, i, self._column[core.core_id]] = True
+                freq[e, i] = env.machine.frequency_of(name)
+                backlog[e, i] = env.services[name].backlog
+                llc_quota[e, i] = assignments[e][name].llc_ways * mb_per_way
+
+        # --- effective capacities (demand-aware timesharing) ------------ #
+        freq_factor = self._alpha * (self.spec.dvfs.max_ghz / freq) + (1.0 - self._alpha)
+        service_ms_base = self._cpu_ms * freq_factor
+        offered = arrivals + backlog / interval
+        per_core_demand = np.minimum(
+            offered * service_ms_base / 1000.0 / np.maximum(n_cores, 1.0), 1.5
+        )
+        capacities = effective_capacity_matrix(membership, online, per_core_demand)
+
+        # --- interference ----------------------------------------------- #
+        eff_servers = capacities / (1.0 + self._serial_fraction * (capacities - 1.0))
+        capacity_uncontended = eff_servers * 1000.0 / service_ms_base
+        expected = np.minimum(offered, capacity_uncontended)
+        interference = self.envs[0].interference
+        membw_expected = expected * self._membw_per_req / 1024.0
+        bw_util = membw_expected.sum(axis=1) / interference.membw_capacity_gbps
+        pressure = np.array(
+            [interference._bandwidth_pressure(float(u)) for u in bw_util]
+        )
+        llc_cap = interference.llc_capacity_mb
+        quota_total = np.minimum(
+            np.minimum(llc_quota, llc_cap).sum(axis=1), llc_cap
+        )
+        shared_capacity = np.maximum(llc_cap - quota_total, 1e-9)
+        working_set = self._working_set * 1.0  # llc_demand_mb at full load
+        shared_ws = np.where(llc_quota <= 0, working_set, 0.0).sum(axis=1)
+        has_quota = llc_quota > 0
+        ws_positive = working_set > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            evicted_isolated = np.maximum(0.0, 1.0 - llc_quota / working_set)
+            share = shared_capacity[:, None] * working_set / shared_ws[:, None]
+            evicted_shared = np.maximum(0.0, 1.0 - share / working_set)
+        evicted = np.where(
+            has_quota,
+            np.where(ws_positive, evicted_isolated, 0.0),
+            np.where(
+                (shared_ws > shared_capacity)[:, None] & ws_positive,
+                evicted_shared,
+                0.0,
+            ),
+        )
+        miss_inflation = 1.0 + evicted
+        bw_term = self._membw_sens * interference.bandwidth_strength * pressure[:, None]
+        llc_term = self._llc_sens * interference.llc_strength * evicted
+        inflation = 1.0 + bw_term + llc_term
+
+        # --- service dynamics (both regimes, then select) ---------------- #
+        service_ms = service_ms_base * inflation
+        floor_ms = self._floor_ms * freq_factor * inflation
+        mu = 1000.0 / service_ms
+        capacity = eff_servers * mu
+        stable = offered < 0.995 * capacity
+
+        wait_stable = self._wait_q99_ms(offered, mu, eff_servers)
+        overload_backlog = np.clip(
+            backlog + (arrivals - capacity) * interval, 0.0, 2.0 * capacity
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            queueing_ms = np.where(
+                capacity > 0, 1000.0 * (overload_backlog / capacity), 0.0
+            )
+        edge_wait = self._wait_q99_ms(0.995 * capacity, mu, eff_servers)
+        p99 = np.where(
+            stable,
+            floor_ms + wait_stable,
+            floor_ms + service_ms + np.maximum(queueing_ms, edge_wait),
+        )
+        new_backlog = np.where(stable, 0.0, overload_backlog)
+        throughput = np.where(stable, offered, capacity)
+
+        # --- shared-RNG noise block -------------------------------------- #
+        lat_draws = 1 if self.config.latency_noise_std > 0 else 0
+        tel_draws = len(_COUNTER_ORDER) if self.config.telemetry_noise_std > 0 else 0
+        block = lat_draws + tel_draws
+        total_draws = S * block + 1
+        z = np.empty((E, total_draws))
+        for e, env in enumerate(self.envs):
+            z[e] = env._rng.standard_normal(total_draws)
+        per_service = z[:, : S * block].reshape(E, S, block)
+        if lat_draws:
+            p99 = p99 * np.exp(self.config.latency_noise_std * per_service[:, :, 0])
+
+        mean_ms = (
+            floor_ms / 3.0
+            + (p99 - floor_ms) / 4.6
+            + service_ms / np.maximum(eff_servers, 1.0)
+        )
+        busy = np.minimum(offered, capacity) * service_ms / 1000.0 * interval
+        utilization = np.clip(busy / (capacities * interval), 0.0, 1.0)
+        instructions = throughput * interval * self._instr_per_req * 1e6
+        membw_out = throughput * self._membw_per_req / 1024.0
+
+        # --- telemetry ---------------------------------------------------- #
+        spin_seconds = np.maximum(
+            self._aiu * (capacities * interval - busy), 0.0
+        )
+        active_seconds = busy + spin_seconds
+        core_cycles = active_seconds * freq * 1e9
+        ref_cycles = active_seconds * 2.0e9
+        spin_cycles = spin_seconds * freq * 1e9
+        spin_instr = spin_cycles * 0.8
+        spin_branches = spin_instr * 0.30
+        kilo_instr = instructions / 1000.0
+        branch_instr = instructions * self._bpi + spin_branches
+        branch_misses = instructions * self._bpi * self._bmr + spin_branches * 0.001
+        total_instr = instructions + spin_instr
+        counters = np.stack(
+            [
+                core_cycles,
+                total_instr,
+                core_cycles,
+                ref_cycles,
+                total_instr * self._uops,
+                branch_instr,
+                branch_misses,
+                branch_misses,
+                kilo_instr * self._llc_mpki * miss_inflation,
+                kilo_instr * self._l1d_mpki,
+                kilo_instr * self._l1i_mpki,
+            ],
+            axis=-1,
+        )  # (E, S, 11)
+        if tel_draws:
+            tel_z = per_service[:, :, lat_draws:]
+            counters = counters * (1.0 + self.config.telemetry_noise_std * tel_z)
+        counters = np.maximum(counters, 0.0)
+
+        # --- ground-truth power and RAPL ---------------------------------- #
+        effective_util = utilization + self._aiu * (1.0 - utilization)
+        core_util = np.clip(
+            (membership * effective_util[:, :, None]).sum(axis=1), 0.0, 1.0
+        )
+        allocated = membership.any(axis=1)
+        core_freq = self._ladder[freq_index]
+        voltage = self.spec.voltage_base_v + self.spec.voltage_slope * core_freq
+        dynamic_per_core = np.where(
+            allocated,
+            self.spec.dynamic_coeff * voltage * voltage * core_freq * core_util,
+            0.0,
+        )
+        if self.config.hotplug_unused:
+            online_count = allocated.sum(axis=1)
+        else:
+            online_count = np.full(E, C)
+        true_power = (
+            self.spec.idle_power_w
+            + self.spec.core_static_w * online_count
+            + dynamic_per_core.sum(axis=1)
+            + self.spec.uncore_bw_w * np.clip(bw_util, 0.0, 1.0)
+        )
+        rapl_noise = 1.0 + self.config.rapl_noise_std * z[:, -1]
+        readings = np.maximum(true_power * rapl_noise, 0.0)
+
+        # --- scatter results back into the wrapped environments ----------- #
+        results: List[StepResult] = []
+        socket = self.config.socket_index
+        for e, env in enumerate(self.envs):
+            observations: Dict[str, ServiceObservation] = {}
+            for i, name in enumerate(self.names):
+                profile = env.services[name].profile
+                result = IntervalResult(
+                    service=name,
+                    interval_s=interval,
+                    arrival_rate=float(arrivals[e, i]),
+                    throughput_rps=float(throughput[e, i]),
+                    p99_ms=float(p99[e, i]),
+                    mean_ms=float(mean_ms[e, i]),
+                    utilization=float(utilization[e, i]),
+                    capacity_rps=float(capacity[e, i]),
+                    backlog=float(new_backlog[e, i]),
+                    cores=float(capacities[e, i]),
+                    frequency_ghz=float(freq[e, i]),
+                    inflation=float(inflation[e, i]),
+                    miss_inflation=float(miss_inflation[e, i]),
+                    membw_gbps=float(membw_out[e, i]),
+                    busy_core_seconds=float(busy[e, i]),
+                    instructions=float(instructions[e, i]),
+                    qos_target_ms=float(self._qos_target[i]),
+                )
+                pmcs = {
+                    counter: float(counters[e, i, c])
+                    for c, counter in enumerate(_COUNTER_ORDER)
+                }
+                observations[name] = ServiceObservation(interval=result, pmcs=pmcs)
+                env.services[name].backlog = float(new_backlog[e, i])
+            env.rapl.energy_j += float(readings[e]) * interval
+            env.rapl.last_reading_w = {socket: float(readings[e])}
+            env.time += 1
+            step_result = StepResult(
+                time=env.time,
+                observations=observations,
+                socket_power_w=float(readings[e]),
+                true_power_w=float(true_power[e]),
+                membw_utilization=float(bw_util[e]),
+                energy_j=env.rapl.energy_j,
+            )
+            env.last_result = step_result
+            if env.trace.enabled:
+                self._emit_step_events(env, e, step_result)
+            results.append(step_result)
+        return results
+
+    def _wait_q99_ms(
+        self, arrival: np.ndarray, mu: np.ndarray, servers: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``LCService._stable_wait_q99_ms``."""
+        offered = arrival / mu
+        p_wait = erlang_c_batch(servers, np.maximum(offered, 0.0))
+        p_wait = np.minimum(1.0, p_wait * (1.0 + self._cv2) / 2.0)
+        theta = servers * mu - arrival
+        with np.errstate(divide="ignore", invalid="ignore"):
+            wait = 1000.0 * np.log(p_wait / 0.01) / theta
+        wait = np.where(theta <= 0, np.inf, wait)
+        wait = np.where(p_wait <= 0.01, 0.0, wait)
+        return np.where(arrival <= 0, 0.0, wait)
+
+    def _emit_step_events(
+        self, env: ColocationEnvironment, env_index: int, result: StepResult
+    ) -> None:
+        """Scalar ``_emit_step_events`` with per-env envelope tagging."""
+        per_service = {}
+        for name, obs in result.observations.items():
+            per_service[name] = {
+                "p99_ms": obs.p99_ms,
+                "qos_target_ms": obs.interval.qos_target_ms,
+                "qos_met": obs.qos_met,
+                "arrival_rps": obs.interval.arrival_rate,
+                "cores": obs.interval.cores,
+                "frequency_ghz": obs.interval.frequency_ghz,
+            }
+            if obs.qos_met:
+                env._violation_streaks[name] = 0
+            else:
+                streak = env._violation_streaks.get(name, 0) + 1
+                env._violation_streaks[name] = streak
+                env.trace.emit(
+                    make_event(
+                        "qos_violation",
+                        result.time,
+                        service=name,
+                        p99_ms=obs.p99_ms,
+                        qos_target_ms=obs.interval.qos_target_ms,
+                        tardiness=obs.tardiness,
+                        consecutive=streak,
+                        env=env_index,
+                    )
+                )
+        env.trace.emit(
+            make_event(
+                "interval",
+                result.time,
+                services=per_service,
+                power_w=result.socket_power_w,
+                true_power_w=result.true_power_w,
+                membw_utilization=result.membw_utilization,
+                energy_j=result.energy_j,
+                env=env_index,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Per-env state trees, keyed by zero-padded env index."""
+        return {
+            "num_envs": self.num_envs,
+            "envs": {f"{e:04d}": env.state_dict() for e, env in enumerate(self.envs)},
+        }
+
+    def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        try:
+            num_envs = int(tree["num_envs"])
+            env_trees = dict(tree["envs"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed vector environment checkpoint: {exc}") from exc
+        if num_envs != self.num_envs:
+            raise CheckpointError(
+                f"checkpoint describes {num_envs} environments, batch has {self.num_envs}"
+            )
+        expected = {f"{e:04d}" for e in range(self.num_envs)}
+        if set(env_trees) != expected:
+            raise CheckpointError(
+                f"vector checkpoint env keys {sorted(env_trees)} do not match "
+                f"batch size {self.num_envs}"
+            )
+        for e, env in enumerate(self.envs):
+            env.load_state_dict(dict(env_trees[f"{e:04d}"]))
+
+
+def make_sibling_environment(
+    services: Sequence[str],
+    load_fractions: Mapping[str, float],
+    seed: int,
+    config: Optional[EnvironmentConfig] = None,
+    qos_targets: Optional[Mapping[str, float]] = None,
+) -> ColocationEnvironment:
+    """One scalar environment following the standard experiment recipe.
+
+    Mirrors :func:`repro.experiments.common.make_environment`: the env RNG
+    sits at ``seed`` and load generator ``i`` at ``seed + 101 + i``, so
+    the same seed produces the same trajectory whether the environment is
+    stepped standalone (the oracle) or inside a vector batch.
+    """
+    if not services:
+        raise ConfigurationError("need at least one service")
+    profiles = [get_profile(name) for name in services]
+    generators = {}
+    for i, profile in enumerate(profiles):
+        fraction = load_fractions.get(profile.name, 0.5)
+        generators[profile.name] = ConstantLoad(
+            profile.max_load_rps,
+            fraction,
+            rng=np.random.default_rng(seed + 101 + i),
+        )
+    return ColocationEnvironment(
+        config or EnvironmentConfig(),
+        profiles,
+        generators,
+        np.random.default_rng(seed),
+        qos_targets=qos_targets,
+    )

@@ -54,6 +54,8 @@ _ENTRIES = [
                     "Core mapping distributions, PARTIES vs Twig-C (Figure 12)"),
     ExperimentEntry("fig13", "repro.experiments.fig13_twig_c_fixed",
                     "Twig-C vs PARTIES vs Static, all pairs (Figure 13)"),
+    ExperimentEntry("fleet", "repro.experiments.fleet",
+                    "Vectorized N-environment fleet rollout (lock-step engine)"),
 ]
 
 REGISTRY: Dict[str, ExperimentEntry] = {e.experiment_id: e for e in _ENTRIES}

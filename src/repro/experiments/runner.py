@@ -435,6 +435,21 @@ class ExperimentRun:
         return self.manifest.status == "ok"
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a CPU
+    affinity mask or a container cgroup quota it overstates the usable
+    parallelism, which is exactly the situation where the process pool
+    ran at 0.93x (pool overhead with no real overlap). The scheduler
+    affinity mask sees both restrictions.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):        # non-Linux platforms
+        return os.cpu_count() or 1
+
+
 def run_experiments(
     experiment_ids: Sequence[str],
     configs: Optional[Mapping[str, Any]] = None,
@@ -447,6 +462,7 @@ def run_experiments(
     retry_backoff_s: float = 0.5,
     resume: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
+    engine: str = "auto",
 ) -> List[ExperimentRun]:
     """Run a batch of registered experiments, writing one manifest each.
 
@@ -493,6 +509,26 @@ def run_experiments(
     - ``checkpoint_every=N`` asks every ``run_manager`` loop inside each
       experiment to write a rolling full-state checkpoint under
       ``out_dir/<id>/`` every N steps (see :func:`run_manager`).
+
+    Engine selection (``engine=``):
+
+    - ``"auto"`` (default): use the process pool only when it can win —
+      more than one *usable* CPU (scheduler affinity, not raw
+      ``os.cpu_count``) and more than one effective worker; otherwise run
+      serially. This fixes the silent 0.93x regression the pool showed on
+      1-CPU boxes, where pickling/IPC overhead bought no overlap.
+    - ``"serial"`` / ``"pool"``: force the corresponding path (``"pool"``
+      still degrades to serial when only one worker is effective).
+      ``"serial"`` additionally rewrites any config that has an
+      ``engine`` field to ``engine="scalar"`` — for engine-aware
+      experiments (``fleet``) it IS the scalar-oracle baseline, not just
+      a scheduling choice.
+    - ``"vector"``: run serially and rewrite every config that has an
+      ``engine`` field to ``engine="vector"``, routing those experiments
+      through the batched in-process rollout engine
+      (:mod:`repro.engine`). Experiments without an ``engine`` field are
+      rejected — the caller asked for vectorized execution that those
+      experiments cannot honour.
     """
     if trace and out_dir is None:
         raise ConfigurationError("trace=True requires out_dir for the JSONL sinks")
@@ -509,7 +545,41 @@ def run_experiments(
             "strict=True re-raises the first failure; combining it with "
             "retries is contradictory — pick one"
         )
-    configs = configs or {}
+    if engine not in ("auto", "serial", "pool", "vector"):
+        raise ConfigurationError(
+            f"engine must be auto, serial, pool, or vector, got {engine!r}"
+        )
+    configs = dict(configs or {})
+    if engine == "vector":
+        # Route every experiment through the batched rollout engine: its
+        # config must expose an ``engine`` field to honour the request.
+        import dataclasses
+
+        for experiment_id in experiment_ids:
+            config = configs.get(experiment_id)
+            if config is None or not (
+                dataclasses.is_dataclass(config)
+                and any(f.name == "engine" for f in dataclasses.fields(config))
+            ):
+                raise ConfigurationError(
+                    f"engine='vector' requires an experiment config with an "
+                    f"'engine' field; {experiment_id!r} has none "
+                    "(only fleet-style experiments support the vector engine)"
+                )
+            configs[experiment_id] = dataclasses.replace(config, engine="vector")
+    elif engine == "serial":
+        # For engine-aware experiments, "serial" means the scalar oracle,
+        # not merely "no process pool".
+        import dataclasses
+
+        for experiment_id in experiment_ids:
+            config = configs.get(experiment_id)
+            if (
+                config is not None
+                and dataclasses.is_dataclass(config)
+                and any(f.name == "engine" for f in dataclasses.fields(config))
+            ):
+                configs[experiment_id] = dataclasses.replace(config, engine="scalar")
     out_path = Path(out_dir) if out_dir is not None else None
     # The SHA of the code being run, not of whatever directory the caller
     # happens to be in. Resolved once, here, so workers never shell out.
@@ -527,8 +597,13 @@ def run_experiments(
     def finish() -> List[ExperimentRun]:
         return [results[experiment_id] for experiment_id in experiment_ids]
 
-    effective_jobs = min(jobs, os.cpu_count() or 1, max(len(pending), 1))
-    if effective_jobs == 1 or len(pending) <= 1:
+    # Capping at the *affinity-visible* CPU count (not os.cpu_count) is
+    # what auto-selects serial on 1-CPU boxes and containers.
+    effective_jobs = min(jobs, _available_cpus(), max(len(pending), 1))
+    use_pool = (
+        engine in ("auto", "pool") and effective_jobs > 1 and len(pending) > 1
+    )
+    if not use_pool:
         for experiment_id in pending:
             results[experiment_id] = _run_with_retries(
                 experiment_id, configs.get(experiment_id), sha, out_path,

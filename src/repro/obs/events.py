@@ -13,7 +13,7 @@ it (a test diffs the doc's schema table against this module).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -22,6 +22,12 @@ SCHEMA_VERSION = 1
 
 #: Envelope fields present on every event.
 ENVELOPE_FIELDS: Dict[str, str] = {"ev": "str", "v": "int", "t": "int"}
+
+#: Optional envelope fields, present only when the emitter supplies them.
+#: ``env`` is the environment index of a vectorized (multi-env) run, so
+#: ``repro trace report`` can attribute each interval to its environment;
+#: scalar runs omit it.
+OPTIONAL_ENVELOPE_FIELDS: Dict[str, str] = {"env": "int"}
 
 _TYPE_CHECKS = {
     "str": lambda x: isinstance(x, str),
@@ -155,9 +161,16 @@ EVENT_REGISTRY: Dict[str, EventSpec] = {
 }
 
 
-def make_event(ev: str, t: int, **fields: Any) -> Dict[str, Any]:
-    """Build a registry-conformant event dict (envelope + payload)."""
+def make_event(ev: str, t: int, *, env: Optional[int] = None, **fields: Any) -> Dict[str, Any]:
+    """Build a registry-conformant event dict (envelope + payload).
+
+    ``env`` is the optional environment-index envelope field; vector runs
+    pass the emitting environment's index so downstream tooling can
+    attribute events per environment.
+    """
     event: Dict[str, Any] = {"ev": ev, "v": SCHEMA_VERSION, "t": t}
+    if env is not None:
+        event["env"] = int(env)
     event.update(fields)
     return event
 
@@ -169,6 +182,9 @@ def validate_event(event: Mapping[str, Any]) -> None:
             raise ConfigurationError(f"event missing envelope field {name!r}: {event}")
         if not _TYPE_CHECKS[type_name](event[name]):
             raise ConfigurationError(f"envelope field {name!r} is not {type_name}: {event}")
+    for name, type_name in OPTIONAL_ENVELOPE_FIELDS.items():
+        if name in event and not _TYPE_CHECKS[type_name](event[name]):
+            raise ConfigurationError(f"envelope field {name!r} is not {type_name}: {event}")
     if event["v"] != SCHEMA_VERSION:
         raise ConfigurationError(
             f"event schema version {event['v']} != supported {SCHEMA_VERSION}"
@@ -178,7 +194,9 @@ def validate_event(event: Mapping[str, Any]) -> None:
         raise ConfigurationError(
             f"unknown event type {event['ev']!r}; known: {sorted(EVENT_REGISTRY)}"
         )
-    payload = {k for k in event if k not in ENVELOPE_FIELDS}
+    payload = {
+        k for k in event if k not in ENVELOPE_FIELDS and k not in OPTIONAL_ENVELOPE_FIELDS
+    }
     declared = set(spec.field_names())
     missing = declared - payload
     if missing:

@@ -234,7 +234,7 @@ class BDQAgent:
         self.step_count += 1
         loss = None
         if (
-            len(self.buffer) >= self.config.min_buffer_size
+            self._replay_size() >= self.config.min_buffer_size
             and self.step_count % self.config.train_every == 0
         ):
             for _ in range(self.config.gradient_steps):
@@ -271,6 +271,34 @@ class BDQAgent:
             return nullcontext()
         return self.timings.measure(label)
 
+    # ------------------------------------------------------------------ #
+    # replay hooks (overridden by sharded/striped buffer variants)
+    # ------------------------------------------------------------------ #
+    def _replay_size(self) -> int:
+        """Number of stored transitions available for sampling."""
+        return len(self.buffer)
+
+    def _replay_sample(self):
+        """Draw one training minibatch; returns ``(batch, weights, beta)``."""
+        with self._measure("agent.train.replay"):
+            if isinstance(self.buffer, PrioritizedReplayBuffer):
+                # Batched tree descent + gather; no per-transition Python loop.
+                beta = self.beta_schedule(self.step_count)
+                batch = self.buffer.sample(self.config.batch_size, beta=beta)
+                weights = batch["weights"]
+            else:
+                beta = 1.0
+                batch = self.buffer.sample(self.config.batch_size)
+                weights = np.ones(len(batch["indices"]))
+        return batch, weights, beta
+
+    def _replay_update(self, batch: Dict[str, Any], td_error_accum: np.ndarray) -> None:
+        """Write new priorities for the sampled transitions (PER only)."""
+        if isinstance(self.buffer, PrioritizedReplayBuffer):
+            with self._measure("agent.train.replay"):
+                priorities = td_error_accum / self.online.total_branches
+                self.buffer.update_priorities(batch["indices"], priorities)
+
     def _train_step(self) -> float:
         """Vectorized over a flat branch axis — no per-agent/per-branch loops.
 
@@ -285,16 +313,7 @@ class BDQAgent:
         """
         config = self.config
         net = self.online
-        with self._measure("agent.train.replay"):
-            if isinstance(self.buffer, PrioritizedReplayBuffer):
-                # Batched tree descent + gather; no per-transition Python loop.
-                beta = self.beta_schedule(self.step_count)
-                batch = self.buffer.sample(config.batch_size, beta=beta)
-                weights = batch["weights"]
-            else:
-                beta = 1.0
-                batch = self.buffer.sample(config.batch_size)
-                weights = np.ones(len(batch["indices"]))
+        batch, weights, beta = self._replay_sample()
 
         states = batch["state"]
         next_states = batch["next_state"]
@@ -366,10 +385,7 @@ class BDQAgent:
             # clip instead of re-streaming the arena.
             self.optimizer.step(grad_sq_sum=net.last_grad_sq_sum)
 
-        if isinstance(self.buffer, PrioritizedReplayBuffer):
-            with self._measure("agent.train.replay"):
-                priorities = td_error_accum / net.total_branches
-                self.buffer.update_priorities(batch["indices"], priorities)
+        self._replay_update(batch, td_error_accum)
 
         self.train_count += 1
         self.last_loss = float(total_loss)
@@ -384,7 +400,7 @@ class BDQAgent:
                     loss=self.last_loss,
                     epsilon=self.epsilon(),
                     beta=float(beta),
-                    buffer_size=len(self.buffer),
+                    buffer_size=self._replay_size(),
                     mean_td_error=self.last_td_error,
                 )
             )

@@ -592,6 +592,20 @@ class BDQNetwork:
             b += len(agent)
         return actions
 
+    def greedy_actions_batch(self, states: np.ndarray) -> np.ndarray:
+        """Greedy actions for a batch of states in one fused pass.
+
+        Returns ``(batch, total_branches)`` int64 — row ``i`` holds the
+        flattened (agent-major) per-branch argmax actions for ``states[i]``.
+        One trunk GEMM + one bank tail GEMM serve every row, so N
+        environments pay for one forward instead of N
+        :meth:`greedy_actions` calls. Argmaxing raw advantages is exact
+        (see :meth:`greedy_actions`), so each row agrees elementwise with
+        the single-state path.
+        """
+        adv = self.advantages_stacked(states)       # (batch, B, out_max)
+        return np.argmax(adv, axis=2)
+
     # ------------------------------------------------------------------ #
     # parameters & utilities
     # ------------------------------------------------------------------ #

@@ -145,11 +145,17 @@ class SumTree:
             )
         nodes = self._leaf_count + leaves
         self._tree[nodes] = priorities
-        parents = np.unique(nodes >> 1)
-        while parents.size and parents[0] >= 1:
+        # No dedup needed while climbing: duplicate parents all recompute
+        # the same sum from the same (already-final) children, so repeated
+        # fancy-index writes are idempotent — and skipping the per-level
+        # np.unique sort costs less than the redundant adds at minibatch
+        # sizes. Leaves share one level, so exactly ``depth`` shifts reach
+        # the root.
+        parents = nodes >> 1
+        for _ in range(self._depth):
             children = parents << 1
             self._tree[parents] = self._tree[children] + self._tree[children + 1]
-            parents = np.unique(parents >> 1)
+            parents = parents >> 1
 
     def find_batch(self, masses: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`find`: one leaf per entry of ``masses``.

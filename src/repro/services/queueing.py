@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -60,6 +62,62 @@ def erlang_c(servers: float, offered: float) -> float:
     p_high = _erlang_c_integer(high, offered)
     weight = servers - low
     return (1.0 - weight) * p_low + weight * p_high
+
+
+def erlang_c_batch(servers: np.ndarray, offered: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`erlang_c` over arrays of (servers, offered) pairs.
+
+    Bitwise-equivalent to calling the scalar function elementwise: the same
+    Erlang-B recurrence runs for every element in lock-step (masked so each
+    element stops contributing once ``k`` passes its own integer server
+    count), the same fractional interpolation applies, and the same
+    ``offered >= servers -> 1.0`` / ``offered <= 0 -> 0.0`` guards are
+    applied per *integer* evaluation — exactly where the scalar code
+    applies them.
+    """
+    servers = np.asarray(servers, dtype=np.float64)
+    offered = np.asarray(offered, dtype=np.float64)
+    servers, offered = np.broadcast_arrays(servers, offered)
+    if servers.size == 0:
+        return np.zeros_like(servers)
+    if np.any(servers <= 0):
+        raise ConfigurationError("servers must be positive")
+    if np.any(offered < 0):
+        raise ConfigurationError("offered load must be >= 0")
+
+    low = np.floor(servers)
+    high = np.ceil(servers)
+    degenerate = (low == high) | (low < 1)
+    # Degenerate elements evaluate a single integer count max(high, 1).
+    n_low = np.where(degenerate, np.maximum(high, 1.0), low).astype(np.int64)
+    n_high = np.maximum(high, 1.0).astype(np.int64)
+
+    # Shared Erlang-B recurrence: advance every element together, snapshot
+    # the blocking probability as each element's integer counts pass by.
+    blocking = np.ones_like(offered)
+    b_low = np.ones_like(offered)
+    b_high = np.ones_like(offered)
+    for k in range(1, int(n_high.max()) + 1):
+        active = k <= n_high
+        blocking = np.where(
+            active, offered * blocking / (k + offered * blocking), blocking
+        )
+        b_low = np.where(k == n_low, blocking, b_low)
+        b_high = np.where(k == n_high, blocking, b_high)
+
+    def _finish(b: np.ndarray, n: np.ndarray) -> np.ndarray:
+        n = n.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rho = offered / n
+            p = b / (1.0 - rho + rho * b)
+        p = np.where(offered >= n, 1.0, p)
+        return np.where(offered <= 0.0, 0.0, p)
+
+    p_low = _finish(b_low, n_low)
+    p_high = _finish(b_high, n_high)
+    weight = servers - low
+    interpolated = (1.0 - weight) * p_low + weight * p_high
+    return np.where(degenerate, p_low, interpolated)
 
 
 def mmc_sojourn_tail(

@@ -31,6 +31,34 @@ from repro.sim.faults import FaultInjector
 from repro.sim.telemetry import TelemetrySynthesizer
 
 
+def effective_capacity_matrix(
+    membership: np.ndarray, online: np.ndarray, per_core_demand: np.ndarray
+) -> np.ndarray:
+    """Demand-aware timeshared core-equivalents, fully vectorized.
+
+    ``membership`` is a boolean ``(..., S, C)`` pin matrix (service s uses
+    core c), ``online`` a boolean ``(..., C)`` core-online mask, and
+    ``per_core_demand`` the ``(..., S)`` per-core busy demand of each
+    service. Per shared core, service i's usable share is
+    ``clip(1 - sum of co-runners' demand, 1/k, 1)`` where k is the number
+    of services pinned to the core; offline or unpinned cores contribute
+    nothing. Returns the ``(..., S)`` core-equivalents, floored at 1e-6.
+
+    Both :class:`ColocationEnvironment` and the vector engine route their
+    capacity math through this one function, so the scalar and batched
+    paths stay bitwise-aligned.
+    """
+    membership = np.asarray(membership, dtype=bool)
+    online = np.asarray(online, dtype=bool)
+    demand = np.asarray(per_core_demand, dtype=np.float64)
+    k = membership.sum(axis=-2)                                   # (..., C)
+    demand_total = (membership * demand[..., :, None]).sum(axis=-2)
+    others = demand_total[..., None, :] - demand[..., :, None]    # (..., S, C)
+    share = np.clip(1.0 - others, 1.0 / np.maximum(k, 1)[..., None, :], 1.0)
+    usable = np.where(membership & online[..., None, :], share, 0.0)
+    return np.maximum(usable.sum(axis=-1), 1e-6)
+
+
 @dataclass(frozen=True)
 class EnvironmentConfig:
     """Environment-wide knobs; defaults mirror the paper's setup."""
@@ -299,8 +327,16 @@ class ColocationEnvironment:
         ``max(1/k, 1 - sum of the other services' per-core demand)``.
         """
         interval = self.config.interval_s
-        per_core_demand: Dict[str, float] = {}
-        for name, service in self.services.items():
+        names = list(self.services)
+        core_ids = self.socket_core_ids
+        column = {core_id: j for j, core_id in enumerate(core_ids)}
+        demand = np.empty(len(names), dtype=np.float64)
+        membership = np.zeros((len(names), len(core_ids)), dtype=bool)
+        online = np.zeros(len(core_ids), dtype=bool)
+        for j, core_id in enumerate(core_ids):
+            online[j] = self.machine.cores[core_id].online
+        for i, name in enumerate(names):
+            service = self.services[name]
             cores = self.machine.cores_of(name)
             freq = self.machine.frequency_of(name)
             service_ms = service.profile.cpu_ms_per_req * service.profile.frequency_factor(
@@ -308,20 +344,11 @@ class ColocationEnvironment:
             )
             offered = arrivals[name] + service.backlog / interval
             busy_cores = offered * service_ms / 1000.0
-            per_core_demand[name] = min(busy_cores / max(len(cores), 1), 1.5)
-        capacities: Dict[str, float] = {}
-        for name in self.services:
-            total = 0.0
-            for core in self.machine.cores_of(name):
-                if not core.online:
-                    continue
-                k = len(core.services)
-                others = sum(
-                    per_core_demand[other] for other in core.services if other != name
-                )
-                total += float(np.clip(1.0 - others, 1.0 / k, 1.0))
-            capacities[name] = max(total, 1e-6)
-        return capacities
+            demand[i] = min(busy_cores / max(len(cores), 1), 1.5)
+            for core in cores:
+                membership[i, column[core.core_id]] = True
+        capacities = effective_capacity_matrix(membership, online, demand)
+        return {name: float(capacities[i]) for i, name in enumerate(names)}
 
     def _check_socket(self, assignments: Mapping[str, CoreAssignment]) -> None:
         valid = set(self.socket_core_ids)

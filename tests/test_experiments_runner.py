@@ -83,11 +83,12 @@ def test_migrations_recorded():
 def many_cpus(monkeypatch):
     """Pretend the box has cores to spare.
 
-    ``run_experiments`` clamps its worker count to ``os.cpu_count()``, so
-    on a single-core CI box ``jobs=2`` would silently take the serial path
-    and these tests would stop exercising the process pool.
+    ``run_experiments`` clamps its worker count to the CPUs the process
+    may actually run on, so on a single-core CI box ``jobs=2`` would
+    silently take the serial path and these tests would stop exercising
+    the process pool.
     """
-    monkeypatch.setattr("repro.experiments.runner.os.cpu_count", lambda: 8)
+    monkeypatch.setattr("repro.experiments.runner._available_cpus", lambda: 8)
 
 
 def test_parallel_batch_matches_serial(tmp_path, many_cpus):

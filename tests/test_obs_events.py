@@ -6,6 +6,7 @@ from repro.errors import ConfigurationError
 from repro.obs.events import (
     ENVELOPE_FIELDS,
     EVENT_REGISTRY,
+    OPTIONAL_ENVELOPE_FIELDS,
     SCHEMA_VERSION,
     make_event,
     validate_event,
@@ -61,6 +62,28 @@ def test_every_event_type_round_trips(ev):
 
 def test_envelope_is_stable():
     assert ENVELOPE_FIELDS == {"ev": "str", "v": "int", "t": "int"}
+    assert OPTIONAL_ENVELOPE_FIELDS == {"env": "int"}
+
+
+@pytest.mark.parametrize("ev", sorted(EVENT_REGISTRY))
+def test_env_tagged_events_validate(ev):
+    # Vector-engine emissions carry the optional `env` envelope field on
+    # every event type; it must validate and stay out of the payload.
+    event = make_event(ev, 3, env=5, **SAMPLE_PAYLOADS[ev])
+    assert event["env"] == 5
+    validate_event(event)
+
+
+def test_env_omitted_by_default():
+    event = make_event("run_end", 1, steps=10, wall_time_s=1.0)
+    assert "env" not in event
+
+
+def test_non_int_env_rejected():
+    event = make_event("run_end", 1, env=0, steps=10, wall_time_s=1.0)
+    event["env"] = "zero"
+    with pytest.raises(ConfigurationError, match="'env' is not int"):
+        validate_event(event)
 
 
 def test_unknown_event_type_rejected():

@@ -10,7 +10,7 @@ part of the tier-1 suite).
 import re
 from pathlib import Path
 
-from repro.obs.events import EVENT_REGISTRY
+from repro.obs.events import EVENT_REGISTRY, OPTIONAL_ENVELOPE_FIELDS
 
 DOC = Path(__file__).resolve().parent.parent / "docs" / "observability.md"
 
@@ -78,6 +78,18 @@ def test_doc_emitters_match_registry():
         assert documented[name]["emitter"] == spec.emitter, (
             f"`{name}` emitter in doc is {documented[name]['emitter']!r}, "
             f"code says {spec.emitter!r}"
+        )
+
+
+def test_doc_documents_optional_envelope_fields():
+    # Optional envelope fields (e.g. the vector engine's per-environment
+    # `env` tag) live in the "Trace format" envelope tables, outside the
+    # schema-reference section the parser reads — check them directly.
+    text = DOC.read_text()
+    for name, type_name in OPTIONAL_ENVELOPE_FIELDS.items():
+        assert re.search(rf"^\| `{name}` \| {type_name} \|", text, re.M), (
+            f"optional envelope field `{name}` ({type_name}) is not documented "
+            "in docs/observability.md"
         )
 
 

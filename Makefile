@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-robust trace-e2e bench bench-smoke docs-check
+.PHONY: test test-robust test-fleet trace-e2e bench bench-smoke docs-check
 
 ## Tier-1: the full unit/property/integration suite (excludes -m slow).
 ## Includes tests/test_repo_hygiene.py, which fails if bytecode, caches,
@@ -24,9 +24,18 @@ test-robust:
 trace-e2e:
 	$(PYTEST) -q -m trace_e2e
 
-## Schema/doc consistency: docs/observability.md vs the event registry.
+## Fleet layer: vector-engine scalar equivalence, cluster traffic /
+## balancer invariants, cluster environment + experiment, and the
+## docs/fleet.md schema diff.
+test-fleet:
+	$(PYTEST) -q tests/test_engine_vector.py tests/test_cluster_traffic.py \
+		tests/test_cluster_balancer.py tests/test_cluster_environment.py \
+		tests/test_fleet_doc.py
+
+## Schema/doc consistency: docs/observability.md vs the event registry,
+## docs/fleet.md vs the cluster layer.
 docs-check:
-	$(PYTEST) -q tests/test_obs_schema_doc.py
+	$(PYTEST) -q tests/test_obs_schema_doc.py tests/test_fleet_doc.py
 
 ## Paper-artifact benchmarks at quick scale.
 bench:

@@ -12,7 +12,10 @@ Unlike the paper-artifact benchmarks, these measure the *harness itself*:
 - the vectorized rollout engine: the fleet agent's fused train step and
   batched act at 1, 2 and 4 colocated agents, and the end-to-end
   experiment-suite throughput of ``--engine vector`` vs the serial
-  scalar loop.
+  scalar loop;
+- the cluster layer: whole-cluster step throughput (traffic model ->
+  load balancer -> fused node physics) at 64 and 256 nodes with 4
+  colocated services per node.
 
 Each test appends its measurement to ``BENCH_perf_smoke.json`` at the repo
 root so the performance trajectory is recorded across PRs. Run via
@@ -421,6 +424,54 @@ def test_experiment_suite_throughput(tmp_path):
             "speedup": round(speedup, 2),
         },
     )
+
+
+def test_cluster_step(tmp_path):
+    """Cluster-environment step throughput at 64 and 256 nodes.
+
+    Measures one fused traffic -> balancer -> (node x service) physics
+    step of ``ClusterEnvironment`` with the paper's 4-service colocation
+    on every node (static assignments — no agent in the loop, this is
+    the substrate's cost floor). Records whole-cluster steps/sec and the
+    per-node step rate into ``BENCH_perf_smoke.json``.
+    """
+    from repro.cluster import ClusterEnvironment
+    from repro.core.actions import Allocation
+    from repro.core.mapper import Mapper
+
+    services = ["masstree", "xapian", "moses", "img-dnn"]
+    results = {}
+    for num_nodes, rounds in {64: 20, 256: 8}.items():
+        venv = ClusterEnvironment.from_services(
+            services, num_nodes=num_nodes, seed=7,
+            traffic="diurnal", balancer="power_of_two",
+        )
+        mapper = Mapper(venv.spec, socket_index=venv.config.socket_index)
+        top = len(venv.spec.dvfs) - 1
+        assignment = mapper.map(
+            {name: Allocation(num_cores=4, freq_index=top) for name in services}
+        )
+        assignments = [assignment] * num_nodes
+        for _ in range(2):  # warm up caches / shard maps
+            venv.step(assignments)
+        step_s = _best_block_s(lambda: venv.step(assignments), rounds)
+        steps_per_s = 1.0 / step_s
+        results[f"nodes_{num_nodes}"] = {
+            "services": len(services),
+            "rounds": rounds,
+            "step_ms": round(step_s * 1e3, 3),
+            "steps_per_s": round(steps_per_s, 2),
+            "node_steps_per_s": round(steps_per_s * num_nodes, 1),
+        }
+        print(
+            f"\ncluster step ({num_nodes} nodes x {len(services)} services): "
+            f"{step_s * 1e3:.1f}ms/step, {steps_per_s:.1f} steps/s, "
+            f"{steps_per_s * num_nodes:.0f} node-steps/s"
+        )
+    _record("cluster_step", results)
+    # The bar from the fleet layer's design goal: a 256-node cluster tick
+    # stays well inside one simulated control interval (1 s).
+    assert results["nodes_256"]["step_ms"] < 1000.0, results
 
 
 def test_parallel_runner_vs_serial(tmp_path):

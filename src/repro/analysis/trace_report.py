@@ -95,6 +95,61 @@ def learning_curve(
     return {"step": steps, "reward": reward_series, "qos_pct": qos_series}
 
 
+def cluster_summary(
+    events: Sequence[Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Fleet-level aggregates from ``cluster_interval`` events.
+
+    Returns ``None`` for traces without cluster events (scalar and plain
+    vector runs). Otherwise: node count, interval count, the per-interval
+    cluster QoS-guarantee and total-power series, final cumulative
+    energy, and per-service totals (mean offered/served rps, QoS% over
+    node-intervals, worst p99 seen).
+    """
+    ticks = [e for e in events if e.get("ev") == "cluster_interval"]
+    if not ticks:
+        return None
+    nodes = ticks[-1]["nodes"]
+    per_service: Dict[str, Dict[str, float]] = {}
+    for name in ticks[0]["services"]:
+        entries = [t["services"][name] for t in ticks]
+        per_service[name] = {
+            "offered_rps": sum(e["offered_rps"] for e in entries) / len(entries),
+            "served_rps": sum(e["served_rps"] for e in entries) / len(entries),
+            "qos_pct": 100.0
+            * sum(e["qos_nodes"] for e in entries)
+            / (nodes * len(entries)),
+            "worst_p99_ms": max(e["worst_p99_ms"] for e in entries),
+        }
+    return {
+        "nodes": nodes,
+        "intervals": len(ticks),
+        "qos_pct": [100.0 * t["qos_guarantee"] for t in ticks],
+        "power_w": [t["power_w"] for t in ticks],
+        "energy_j": ticks[-1]["energy_j"],
+        "services": per_service,
+    }
+
+
+def render_cluster(summary: Dict[str, Any]) -> str:
+    """Render the cluster-aggregates section of ``repro trace report``."""
+    lines = [
+        f"  qos%    {sparkline(summary['qos_pct'], low=0.0, high=100.0)}",
+        f"  power W {sparkline(summary['power_w'])}",
+        f"  mean cluster power "
+        f"{sum(summary['power_w']) / len(summary['power_w']):.1f} W, "
+        f"cumulative energy {summary['energy_j'] / 1e3:.1f} kJ",
+    ]
+    for name in sorted(summary["services"]):
+        s = summary["services"][name]
+        lines.append(
+            f"  {name:<12s} offered {s['offered_rps']:>9.0f} rps  "
+            f"served {s['served_rps']:>9.0f} rps  qos {s['qos_pct']:5.1f}%  "
+            f"worst p99 {s['worst_p99_ms']:.2f} ms"
+        )
+    return "\n".join(lines)
+
+
 def render_timings(timings: Dict[str, Dict[str, float]]) -> str:
     """Render timing histograms as a tree of sections and sub-sections.
 
@@ -202,6 +257,13 @@ def render_report(
             f"{episode.length:>5d} intervals, peak tardiness "
             f"{episode.peak_tardiness:.2f}x"
         )
+    cluster = cluster_summary(events)
+    if cluster is not None:
+        lines.append("")
+        lines.append(
+            f"Cluster ({cluster['nodes']} nodes, {cluster['intervals']} intervals)"
+        )
+        lines.append(render_cluster(cluster))
     if timings:
         lines.append("")
         lines.append("Timings")

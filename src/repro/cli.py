@@ -45,8 +45,15 @@ def _harness(scale: str) -> HarnessConfig:
     return HarnessConfig.quick()
 
 
-def _config_for(experiment_id: str, scale: str) -> Optional[Any]:
-    """Scale-appropriate config for experiments that take a harness."""
+def _config_for(
+    experiment_id: str, scale: str, overrides: Optional[argparse.Namespace] = None
+) -> Optional[Any]:
+    """Scale-appropriate config for experiments that take a harness.
+
+    ``overrides`` is the parsed ``run`` namespace; cluster-specific flags
+    (``--nodes``, ``--seed``, ``--balancer``, ``--traffic``) are read from
+    it when present.
+    """
     harness = _harness(scale)
     if experiment_id == "fig05":
         from repro.experiments.fig05_twig_s_fixed import Fig05Config
@@ -104,6 +111,26 @@ def _config_for(experiment_id: str, scale: str) -> Optional[Any]:
                 epsilon_final_steps=120, window=60,
             )
         return FleetConfig()
+    if experiment_id == "cluster":
+        from repro.experiments.cluster import ClusterConfig
+
+        kwargs = {}
+        if scale == "quick":
+            kwargs.update(
+                num_nodes=8, steps=80, epsilon_mid_steps=30,
+                epsilon_final_steps=60, window=40,
+            )
+        if overrides is not None:
+            for flag, key in (
+                ("nodes", "num_nodes"), ("seed", "seed"),
+                ("balancer", "balancer"), ("traffic_preset", "traffic"),
+            ):
+                value = getattr(overrides, flag, None)
+                if value is not None:
+                    kwargs[key] = value
+        if kwargs.get("num_nodes", ClusterConfig.num_nodes) == 1:
+            kwargs.setdefault("regions", ("r0",))
+        return ClusterConfig(**kwargs)
     return None
 
 
@@ -122,7 +149,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if len(experiments) == 1 and not batch_flags:
         # Single untraced run: no manifest machinery, just the table.
-        config = _config_for(experiments[0], args.scale)
+        config = _config_for(experiments[0], args.scale, args)
         result = run_experiment(experiments[0], config)
         print(result.format_table())
         return 0
@@ -130,7 +157,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_experiments
 
     out_dir = args.out_dir or args.resume or "runs"
-    configs = {e: _config_for(e, args.scale) for e in experiments}
+    configs = {e: _config_for(e, args.scale, args) for e in experiments}
     runs = run_experiments(
         experiments,
         configs={k: v for k, v in configs.items() if v is not None},
@@ -362,7 +389,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("auto", "serial", "pool", "vector"), default="auto",
         help="batch execution engine: auto picks pool vs serial from the "
              "usable CPU count; vector routes engine-aware experiments "
-             "(e.g. fleet) through the batched in-process rollout engine",
+             "(e.g. fleet, cluster) through the batched in-process rollout "
+             "engine",
+    )
+    run_parser.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="cluster experiment only: number of simulated nodes",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="cluster experiment only: base seed (the whole cluster "
+             "trajectory is a pure function of it)",
+    )
+    run_parser.add_argument(
+        "--balancer", default=None,
+        help="cluster experiment only: load-balancer policy "
+             "(round_robin, least_loaded, power_of_two, sharded_by_key)",
+    )
+    run_parser.add_argument(
+        "--traffic", dest="traffic_preset", default=None,
+        help="cluster experiment only: traffic preset "
+             "(steady, diurnal, flash_crowd, regional_shift)",
     )
     run_parser.set_defaults(func=cmd_run)
 

@@ -1,0 +1,68 @@
+"""Fleet-scale cluster simulation: many nodes, one process.
+
+Layers a datacenter model on top of the vectorized rollout engine
+(:mod:`repro.engine`): a :class:`~repro.cluster.topology.ClusterTopology`
+groups N identical nodes into regions, a
+:class:`~repro.cluster.traffic.TrafficModel` turns a declarative
+:class:`~repro.cluster.traffic.TrafficSpec` (diurnal curves, flash
+crowds, regional shifts) into per-region demand each control interval,
+a :class:`~repro.cluster.balancer.LoadBalancer` policy spreads that
+demand over nodes, and :class:`~repro.cluster.environment.ClusterEnvironment`
+steps every node through the fused (node x service) NumPy path.
+
+Entry points: ``repro run cluster --nodes N`` (CLI), the ``cluster``
+experiment (:mod:`repro.experiments.cluster`), or directly::
+
+    venv = ClusterEnvironment.from_services(
+        ["masstree", "xapian"], num_nodes=256, seed=7,
+        traffic="diurnal", balancer="power_of_two",
+    )
+
+See ``docs/fleet.md`` for the topology model, balancer policies,
+traffic-spec format, and scaling guidance.
+"""
+
+from repro.cluster.balancer import (
+    BALANCER_POLICIES,
+    LeastLoadedBalancer,
+    LoadBalancer,
+    NodeLoads,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    ShardedByKeyBalancer,
+    make_balancer,
+)
+from repro.cluster.environment import ClusterEnvironment, make_cluster_node
+from repro.cluster.topology import ClusterTopology
+from repro.cluster.traffic import (
+    TRAFFIC_PRESETS,
+    FlashCrowd,
+    RegionalShift,
+    ScheduledLoad,
+    ServiceTraffic,
+    TrafficModel,
+    TrafficSpec,
+    make_traffic_spec,
+)
+
+__all__ = [
+    "BALANCER_POLICIES",
+    "ClusterEnvironment",
+    "ClusterTopology",
+    "FlashCrowd",
+    "LeastLoadedBalancer",
+    "LoadBalancer",
+    "NodeLoads",
+    "PowerOfTwoBalancer",
+    "RegionalShift",
+    "RoundRobinBalancer",
+    "ScheduledLoad",
+    "ServiceTraffic",
+    "ShardedByKeyBalancer",
+    "TRAFFIC_PRESETS",
+    "TrafficModel",
+    "TrafficSpec",
+    "make_balancer",
+    "make_cluster_node",
+    "make_traffic_spec",
+]

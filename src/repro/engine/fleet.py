@@ -212,12 +212,14 @@ class FleetBDQAgent(BDQAgent):
     # checkpointing
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, Any]:
+        """Agent state plus the striped replay buffer's stripe layout."""
         tree = super().state_dict()
         tree["num_envs"] = self.num_envs
         tree["striped"] = self.striped.state_dict()
         return tree
 
     def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        """Restore agent and striped-buffer state from :meth:`state_dict`."""
         try:
             num_envs = int(tree["num_envs"])
             striped_tree = dict(tree["striped"])
@@ -275,6 +277,9 @@ class FleetTwig:
         self.profiles: Dict[str, ServiceProfile] = {p.name: p for p in profiles}
         self.service_order: List[str] = [p.name for p in profiles]
         self.name = "twig-fleet"
+        #: Envelope field used to tag emitted events with the environment
+        #: index ("env" for plain fleet runs, "node" for cluster runs).
+        self.index_tag = "env"
 
         self.qos_targets = {
             name: (qos_targets or {}).get(name, self.profiles[name].qos_target_ms)
@@ -374,9 +379,9 @@ class FleetTwig:
                         make_event(
                             "degraded",
                             result.time,
-                            env=e,
                             services=sorted(degraded),
                             held_allocation=True,
+                            **{self.index_tag: e},
                         )
                     )
                 self._prev_states[e] = None
@@ -498,6 +503,7 @@ class FleetTwig:
         allocations: Mapping[str, Allocation],
     ) -> None:
         epsilon = self.agent.epsilon()
+        tag = {self.index_tag: env_index}
         for name in self.service_order:
             breakdown = breakdowns[name]
             observation = result.observations[name]
@@ -505,7 +511,6 @@ class FleetTwig:
                 make_event(
                     "reward",
                     result.time,
-                    env=env_index,
                     service=name,
                     reward=breakdown.total,
                     qos_rew=breakdown.qos_rew,
@@ -513,6 +518,7 @@ class FleetTwig:
                     violation=breakdown.violation,
                     measured_qos_ms=observation.p99_ms,
                     estimated_power_w=self._last_estimated_power[env_index].get(name, 0.0),
+                    **tag,
                 )
             )
             allocation = allocations[name]
@@ -520,13 +526,13 @@ class FleetTwig:
                 make_event(
                     "action",
                     result.time,
-                    env=env_index,
                     service=name,
                     cores=allocation.num_cores,
                     freq_index=allocation.freq_index,
                     frequency_ghz=self.spec.dvfs[allocation.freq_index],
                     llc_ways=allocation.llc_ways,
                     epsilon=epsilon,
+                    **tag,
                 )
             )
 

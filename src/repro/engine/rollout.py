@@ -149,17 +149,18 @@ def run_fleet(
             for _ in range(venv.num_envs)
         ]
         assignments = manager.initial_assignments()
+    index_tag = getattr(venv, "index_tag", "env")
     if sink.enabled:
         for e in range(venv.num_envs):
             sink.emit(
                 make_event(
                     "run_start",
                     venv.time,
-                    env=e,
                     manager=manager.name,
                     services=list(venv.service_names),
                     steps=steps,
                     interval_s=venv.config.interval_s,
+                    **{index_tag: e},
                 )
             )
     step_timing = timings.get("env.step") if timings is not None else None
@@ -208,9 +209,9 @@ def run_fleet(
                 make_event(
                     "run_end",
                     venv.time,
-                    env=e,
                     steps=steps,
                     wall_time_s=time.perf_counter() - started,
+                    **{index_tag: e},
                 )
             )
     for e, env in enumerate(venv.envs):

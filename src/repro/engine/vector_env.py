@@ -84,7 +84,20 @@ _COUNTER_ORDER = (
 
 
 class VectorEnvironment:
-    """N homogeneous colocation environments stepped in lock-step."""
+    """N homogeneous colocation environments stepped in lock-step.
+
+    Subclass hooks: :meth:`_gather_arrivals` supplies the ``(E, S)``
+    arrival-rate matrix for the interval (default: each wrapped
+    environment's own load generators), and :meth:`_post_step` observes
+    the interval's internal arrays after the batch has been stepped
+    (default: no-op). ``index_tag`` names the envelope field used to tag
+    emitted trace events with the environment index (``"env"`` here;
+    :class:`repro.cluster.environment.ClusterEnvironment` retags as
+    ``"node"``).
+    """
+
+    #: Envelope field used when tagging per-environment trace events.
+    index_tag = "env"
 
     def __init__(self, envs: Sequence[ColocationEnvironment]):
         if not envs:
@@ -193,19 +206,24 @@ class VectorEnvironment:
     # ------------------------------------------------------------------ #
     @property
     def service_names(self) -> List[str]:
+        """Colocated service names, identical across all sibling envs."""
         return list(self.names)
 
     @property
     def time(self) -> int:
+        """Current control-interval index (all envs step in lock-step)."""
         return self.envs[0].time
 
     def max_power_w(self) -> float:
+        """Socket power cap shared by every sibling environment."""
         return self.envs[0].max_power_w()
 
     def qos_target_of(self, name: str) -> float:
+        """p99 QoS target (ms) for ``name`` — validated equal across envs."""
         return self.envs[0].qos_target_of(name)
 
     def profile_of(self, name: str):
+        """The :class:`ServiceProfile` for ``name`` (same in every env)."""
         return self.envs[0].profile_of(name)
 
     # ------------------------------------------------------------------ #
@@ -233,12 +251,7 @@ class VectorEnvironment:
             env._check_socket(assignment)
             env.machine.apply(assignment)
 
-        # Arrivals consume each generator's private RNG stream exactly as
-        # the scalar path does (one jitter normal per generator).
-        arrivals = np.empty((E, S))
-        for e, env in enumerate(self.envs):
-            for i, name in enumerate(self.names):
-                arrivals[e, i] = env.load_generators[name].rate(env.time)
+        arrivals = self._gather_arrivals()
 
         # Gather the installed machine state into stacked arrays.
         membership = np.zeros((E, S, C), dtype=bool)
@@ -463,7 +476,47 @@ class VectorEnvironment:
             if env.trace.enabled:
                 self._emit_step_events(env, e, step_result)
             results.append(step_result)
+        self._post_step(
+            results,
+            {
+                "arrivals": arrivals,
+                "throughput": throughput,
+                "p99": p99,
+                "utilization": utilization,
+                "backlog": new_backlog,
+                "power_w": readings,
+                "true_power_w": true_power,
+                "membw_utilization": bw_util,
+            },
+        )
         return results
+
+    def _gather_arrivals(self) -> np.ndarray:
+        """Arrival rates ``(E, S)`` for the interval about to be simulated.
+
+        The default consumes each load generator's private RNG stream
+        exactly as the scalar path does (one jitter normal per generator,
+        in service order). Subclasses may override to inject externally
+        computed rates — e.g. the cluster load balancer — as long as the
+        replacement preserves each environment's RNG-draw ordering.
+        """
+        arrivals = np.empty((self.num_envs, len(self.names)))
+        for e, env in enumerate(self.envs):
+            for i, name in enumerate(self.names):
+                arrivals[e, i] = env.load_generators[name].rate(env.time)
+        return arrivals
+
+    def _post_step(
+        self, results: List[StepResult], arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Hook called once per :meth:`step` after results are built.
+
+        ``arrays`` exposes the interval's internal ``(E, S)`` / ``(E,)``
+        matrices (arrivals, throughput, p99, utilization, backlog,
+        power_w, true_power_w, membw_utilization) so subclasses can build
+        feedback and aggregates without re-deriving them. The base class
+        does nothing.
+        """
 
     def _wait_q99_ms(
         self, arrival: np.ndarray, mu: np.ndarray, servers: np.ndarray
@@ -483,6 +536,7 @@ class VectorEnvironment:
         self, env: ColocationEnvironment, env_index: int, result: StepResult
     ) -> None:
         """Scalar ``_emit_step_events`` with per-env envelope tagging."""
+        tag = {self.index_tag: env_index}
         per_service = {}
         for name, obs in result.observations.items():
             per_service[name] = {
@@ -507,7 +561,7 @@ class VectorEnvironment:
                         qos_target_ms=obs.interval.qos_target_ms,
                         tardiness=obs.tardiness,
                         consecutive=streak,
-                        env=env_index,
+                        **tag,
                     )
                 )
         env.trace.emit(
@@ -519,7 +573,7 @@ class VectorEnvironment:
                 true_power_w=result.true_power_w,
                 membw_utilization=result.membw_utilization,
                 energy_j=result.energy_j,
-                env=env_index,
+                **tag,
             )
         )
 
@@ -534,6 +588,7 @@ class VectorEnvironment:
         }
 
     def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        """Restore every sibling environment from a ``state_dict`` tree."""
         try:
             num_envs = int(tree["num_envs"])
             env_trees = dict(tree["envs"])

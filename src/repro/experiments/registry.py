@@ -56,6 +56,8 @@ _ENTRIES = [
                     "Twig-C vs PARTIES vs Static, all pairs (Figure 13)"),
     ExperimentEntry("fleet", "repro.experiments.fleet",
                     "Vectorized N-environment fleet rollout (lock-step engine)"),
+    ExperimentEntry("cluster", "repro.experiments.cluster",
+                    "Load-balanced multi-node cluster with trace-driven traffic"),
 ]
 
 REGISTRY: Dict[str, ExperimentEntry] = {e.experiment_id: e for e in _ENTRIES}

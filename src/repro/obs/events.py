@@ -26,8 +26,10 @@ ENVELOPE_FIELDS: Dict[str, str] = {"ev": "str", "v": "int", "t": "int"}
 #: Optional envelope fields, present only when the emitter supplies them.
 #: ``env`` is the environment index of a vectorized (multi-env) run, so
 #: ``repro trace report`` can attribute each interval to its environment;
-#: scalar runs omit it.
-OPTIONAL_ENVELOPE_FIELDS: Dict[str, str] = {"env": "int"}
+#: scalar runs omit it. ``node`` is the node index of a cluster run
+#: (``repro.cluster``): the same vectorized machinery tags each per-node
+#: event with the node that produced it instead of ``env``.
+OPTIONAL_ENVELOPE_FIELDS: Dict[str, str] = {"env": "int", "node": "int"}
 
 _TYPE_CHECKS = {
     "str": lambda x: isinstance(x, str),
@@ -157,20 +159,43 @@ EVENT_REGISTRY: Dict[str, EventSpec] = {
             ("steps", "int", "Control intervals actually executed"),
             ("wall_time_s", "float", "Wall-clock duration of the run loop"),
         ),
+        _spec(
+            "cluster_interval", "repro.cluster.environment",
+            "One cluster control interval: fleet-wide QoS, traffic and "
+            "energy aggregates over every node of a cluster run.",
+            ("nodes", "int", "Number of nodes in the cluster"),
+            ("services", "object", "Per-service map: offered_rps, served_rps, "
+                                   "qos_nodes, worst_p99_ms, mean_p99_ms"),
+            ("qos_guarantee", "float", "Fraction of (node, service) pairs meeting "
+                                       "QoS this interval"),
+            ("power_w", "float", "Summed noisy RAPL readings across all nodes"),
+            ("true_power_w", "float", "Summed ground-truth node power"),
+            ("energy_j", "float", "Cumulative cluster-wide energy"),
+        ),
     )
 }
 
 
-def make_event(ev: str, t: int, *, env: Optional[int] = None, **fields: Any) -> Dict[str, Any]:
+def make_event(
+    ev: str,
+    t: int,
+    *,
+    env: Optional[int] = None,
+    node: Optional[int] = None,
+    **fields: Any,
+) -> Dict[str, Any]:
     """Build a registry-conformant event dict (envelope + payload).
 
-    ``env`` is the optional environment-index envelope field; vector runs
-    pass the emitting environment's index so downstream tooling can
-    attribute events per environment.
+    ``env`` and ``node`` are the optional index envelope fields: vector
+    runs pass the emitting environment's index as ``env``, cluster runs
+    pass the emitting node's index as ``node``, so downstream tooling can
+    attribute events per environment / per node.
     """
     event: Dict[str, Any] = {"ev": ev, "v": SCHEMA_VERSION, "t": t}
     if env is not None:
         event["env"] = int(env)
+    if node is not None:
+        event["node"] = int(node)
     event.update(fields)
     return event
 

@@ -1,0 +1,209 @@
+"""Balancer invariants: conservation, determinism, policy behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.balancer import (
+    BALANCER_POLICIES,
+    LeastLoadedBalancer,
+    NodeLoads,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    ShardedByKeyBalancer,
+    make_balancer,
+)
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ConfigurationError
+
+POLICIES = sorted(BALANCER_POLICIES)
+
+
+def _topology(num_nodes=7, regions=("r0", "r1")):
+    return ClusterTopology(num_nodes, regions)
+
+
+def _demand(topology, services=3, level=900.0):
+    rng = np.random.default_rng(0)
+    return level * (1.0 + rng.random((topology.num_regions, services)))
+
+
+def _loads(topology, services=3, seed=1):
+    rng = np.random.default_rng(seed)
+    n = topology.num_nodes
+    return NodeLoads(
+        arrival_rps=200.0 * rng.random((n, services)),
+        utilization=rng.random((n, services)),
+        backlog=np.where(rng.random((n, services)) > 0.7, 50.0, 0.0),
+    )
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_traffic_conserved_without_feedback(self, policy):
+        topology = _topology()
+        balancer = make_balancer(policy, topology, seed=5)
+        demand = _demand(topology)
+        rates = balancer.assign(0, demand)
+        assert rates.shape == (topology.num_nodes, 3)
+        assert (rates >= 0).all()
+        # per (region, service): node rates sum to the regional demand
+        for r in range(topology.num_regions):
+            nodes = topology.region_nodes(r)
+            np.testing.assert_allclose(
+                rates[nodes].sum(axis=0), demand[r], rtol=0, atol=1e-9
+            )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_traffic_conserved_with_feedback(self, policy):
+        topology = _topology(num_nodes=9, regions=("r0", "r1", "r2"))
+        balancer = make_balancer(policy, topology, seed=5)
+        demand = _demand(topology)
+        rates = balancer.assign(3, demand, _loads(topology))
+        for r in range(topology.num_regions):
+            nodes = topology.region_nodes(r)
+            np.testing.assert_allclose(
+                rates[nodes].sum(axis=0), demand[r], rtol=0, atol=1e-9
+            )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_single_node_gets_everything(self, policy):
+        topology = _topology(num_nodes=1, regions=("r0",))
+        balancer = make_balancer(policy, topology)
+        demand = _demand(topology)
+        np.testing.assert_allclose(balancer.assign(0, demand)[0], demand[0])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fixed_seed_fixed_assignment(self, policy):
+        topology = _topology()
+        demand = _demand(topology)
+        loads = _loads(topology)
+        a = make_balancer(policy, topology, seed=42)
+        b = make_balancer(policy, topology, seed=42)
+        for t in range(8):
+            np.testing.assert_array_equal(
+                a.assign(t, demand, loads), b.assign(t, demand, loads)
+            )
+
+    def test_power_of_two_seed_changes_assignment(self):
+        topology = _topology()
+        demand = _demand(topology)
+        a = make_balancer("power_of_two", topology, seed=1).assign(0, demand)
+        b = make_balancer("power_of_two", topology, seed=2).assign(0, demand)
+        assert not np.array_equal(a, b)
+
+
+class TestRoundRobin:
+    def test_cursor_rotates_remainder_chunks(self):
+        topology = _topology(num_nodes=3, regions=("r0",))
+        balancer = RoundRobinBalancer(topology, granularity=4)  # remainder 1
+        demand = np.array([[300.0]])
+        first = balancer.assign(0, demand)
+        second = balancer.assign(1, demand)
+        assert not np.array_equal(first, second)  # extra chunk moved on
+        # over 3 intervals every node got the extra chunk exactly once
+        total = first + second + balancer.assign(2, demand)
+        np.testing.assert_allclose(total, total[0, 0])
+
+    def test_even_split_when_granularity_divides(self):
+        topology = _topology(num_nodes=4, regions=("r0",))
+        balancer = RoundRobinBalancer(topology, granularity=64)
+        rates = balancer.assign(0, np.array([[400.0, 800.0]]))
+        np.testing.assert_allclose(rates[:, 0], 100.0)
+        np.testing.assert_allclose(rates[:, 1], 200.0)
+
+    def test_state_roundtrip(self):
+        topology = _topology(num_nodes=3, regions=("r0",))
+        demand = np.array([[300.0]])
+        a = RoundRobinBalancer(topology, granularity=4)
+        a.assign(0, demand)
+        saved = a.state_dict()
+        b = RoundRobinBalancer(topology, granularity=4)
+        b.load_state_dict(saved)
+        np.testing.assert_array_equal(a.assign(1, demand), b.assign(1, demand))
+
+
+class TestLeastLoaded:
+    def test_loaded_node_receives_less(self):
+        topology = _topology(num_nodes=4, regions=("r0",))
+        balancer = LeastLoadedBalancer(topology)
+        loads = NodeLoads(
+            arrival_rps=np.full((4, 1), 100.0),
+            utilization=np.array([[0.95], [0.2], [0.2], [0.2]]),
+            backlog=np.zeros((4, 1)),
+        )
+        rates = balancer.assign(1, np.array([[400.0]]), loads)
+        assert rates[0, 0] < rates[1, 0]
+
+    def test_uniform_without_feedback(self):
+        topology = _topology(num_nodes=4, regions=("r0",))
+        rates = LeastLoadedBalancer(topology).assign(0, np.array([[400.0]]))
+        np.testing.assert_allclose(rates[:, 0], 100.0)
+
+    def test_backlog_raises_pressure(self):
+        loads = NodeLoads(
+            arrival_rps=np.full((2, 1), 100.0),
+            utilization=np.full((2, 1), 0.5),
+            backlog=np.array([[80.0], [0.0]]),
+        )
+        pressure = loads.pressure()
+        assert pressure[0] > pressure[1]
+
+
+class TestPowerOfTwo:
+    def test_prefers_unloaded_nodes(self):
+        topology = _topology(num_nodes=4, regions=("r0",))
+        balancer = PowerOfTwoBalancer(topology, seed=3, granularity=256)
+        loads = NodeLoads(
+            arrival_rps=np.full((4, 1), 100.0),
+            utilization=np.array([[1.0], [0.1], [0.1], [0.1]]),
+            backlog=np.zeros((4, 1)),
+        )
+        rates = balancer.assign(1, np.array([[400.0]]), loads)
+        assert rates[0, 0] < rates[1:, 0].min()
+
+    def test_state_roundtrip_resumes_rng(self):
+        topology = _topology()
+        demand = _demand(topology)
+        a = PowerOfTwoBalancer(topology, seed=7)
+        a.assign(0, demand)
+        saved = a.state_dict()
+        b = PowerOfTwoBalancer(topology, seed=99)
+        b.load_state_dict(saved)
+        np.testing.assert_array_equal(a.assign(1, demand), b.assign(1, demand))
+
+
+class TestShardedByKey:
+    def test_assignment_ignores_time_and_load(self):
+        topology = _topology()
+        balancer = ShardedByKeyBalancer(topology, seed=5)
+        demand = _demand(topology)
+        first = balancer.assign(0, demand)
+        np.testing.assert_array_equal(first, balancer.assign(50, demand))
+        np.testing.assert_array_equal(
+            first, balancer.assign(51, demand, _loads(topology))
+        )
+
+    def test_skew_concentrates_traffic(self):
+        topology = _topology(num_nodes=8, regions=("r0",))
+        demand = np.array([[800.0]])
+        flat = ShardedByKeyBalancer(topology, seed=5, skew=0.0).assign(0, demand)
+        skewed = ShardedByKeyBalancer(topology, seed=5, skew=1.2).assign(0, demand)
+        assert skewed.max() > flat.max()
+
+
+class TestInterface:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_balancer("random_spray", _topology())
+
+    def test_wrong_demand_shape_rejected(self):
+        balancer = make_balancer("round_robin", _topology())
+        with pytest.raises(ConfigurationError):
+            balancer.assign(0, np.zeros((5, 2)))  # 5 regions, topology has 2
+
+    def test_negative_demand_rejected(self):
+        balancer = make_balancer("round_robin", _topology())
+        with pytest.raises(ConfigurationError):
+            balancer.assign(0, np.full((2, 1), -1.0))

@@ -1,0 +1,141 @@
+"""docs/fleet.md must document exactly the fleet layer the code ships.
+
+Same contract as ``tests/test_obs_schema_doc.py`` for the observability
+doc: parse the machine-readable tables out of ``docs/fleet.md`` and diff
+them against the code — balancer policy names against
+``BALANCER_POLICIES``, traffic preset names against ``TRAFFIC_PRESETS``,
+and the four traffic-spec dataclasses' field tables against their actual
+``dataclasses.fields``.
+"""
+
+import dataclasses
+import re
+from pathlib import Path
+
+from repro.cluster.balancer import BALANCER_POLICIES
+from repro.cluster.traffic import (
+    TRAFFIC_PRESETS,
+    FlashCrowd,
+    RegionalShift,
+    ServiceTraffic,
+    TrafficSpec,
+)
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "fleet.md"
+
+SPEC_CLASSES = {
+    "ServiceTraffic": ServiceTraffic,
+    "FlashCrowd": FlashCrowd,
+    "RegionalShift": RegionalShift,
+    "TrafficSpec": TrafficSpec,
+}
+
+_SECTION = re.compile(r"^## (.+?)\s*$")
+_CLASS_HEADING = re.compile(r"^### `([A-Za-z]+)`\s*$")
+_NAME_ROW = re.compile(r"^\| `([a-z_]+)` \|")
+_FIELD_ROW = re.compile(r"^\| `([a-z_]+)` \| ([a-z]+\??) \|")
+
+
+def _normalize_annotation(annotation):
+    """Map a dataclass field annotation to the doc's type vocabulary."""
+    if annotation in ("str", "int", "float"):
+        return annotation
+    if annotation == "Optional[str]":
+        return "str?"
+    if annotation.startswith("Tuple["):
+        return "tuple"
+    raise AssertionError(f"no doc type mapping for annotation {annotation!r}")
+
+
+def parse_doc(text):
+    """Split the doc into sections and extract the backticked tables.
+
+    Returns ``(section_names, {section: [row names]}, {class: {field: type}})``.
+    ``### `Class` `` headings scope field tables to their dataclass.
+    """
+    sections = []
+    rows = {}
+    class_fields = {}
+    section = None
+    current_class = None
+    for line in text.splitlines():
+        heading = _SECTION.match(line)
+        if heading:
+            section = heading.group(1)
+            sections.append(section)
+            current_class = None
+            rows.setdefault(section, [])
+            continue
+        class_heading = _CLASS_HEADING.match(line)
+        if class_heading:
+            current_class = class_heading.group(1)
+            class_fields[current_class] = {}
+            continue
+        if current_class is not None:
+            field = _FIELD_ROW.match(line)
+            if field:
+                class_fields[current_class][field.group(1)] = field.group(2)
+                continue
+        if section is not None:
+            name = _NAME_ROW.match(line)
+            if name:
+                rows[section].append(name.group(1))
+    return sections, rows, class_fields
+
+
+def test_doc_exists():
+    assert DOC.exists(), "docs/fleet.md is missing"
+
+
+def test_doc_documents_every_balancer_policy():
+    _, rows, _ = parse_doc(DOC.read_text())
+    documented = sorted(rows.get("Balancer policies", []))
+    assert documented == sorted(BALANCER_POLICIES), (
+        "balancer policies in docs/fleet.md do not match BALANCER_POLICIES: "
+        f"doc-only={sorted(set(documented) - set(BALANCER_POLICIES))}, "
+        f"code-only={sorted(set(BALANCER_POLICIES) - set(documented))}"
+    )
+
+
+def test_doc_documents_every_traffic_preset():
+    _, rows, _ = parse_doc(DOC.read_text())
+    documented = sorted(rows.get("Traffic presets", []))
+    assert documented == sorted(TRAFFIC_PRESETS), (
+        "traffic presets in docs/fleet.md do not match TRAFFIC_PRESETS: "
+        f"doc-only={sorted(set(documented) - set(TRAFFIC_PRESETS))}, "
+        f"code-only={sorted(set(TRAFFIC_PRESETS) - set(documented))}"
+    )
+
+
+def test_doc_spec_tables_match_dataclasses():
+    _, _, class_fields = parse_doc(DOC.read_text())
+    assert sorted(class_fields) == sorted(SPEC_CLASSES), (
+        "spec dataclasses documented in docs/fleet.md do not match the code: "
+        f"doc-only={sorted(set(class_fields) - set(SPEC_CLASSES))}, "
+        f"code-only={sorted(set(SPEC_CLASSES) - set(class_fields))}"
+    )
+    for name, cls in SPEC_CLASSES.items():
+        code_fields = {
+            f.name: _normalize_annotation(f.type) for f in dataclasses.fields(cls)
+        }
+        assert class_fields[name] == code_fields, (
+            f"field table for `{name}` in docs/fleet.md disagrees with the "
+            f"dataclass: doc={class_fields[name]}, code={code_fields}"
+        )
+
+
+def test_doc_has_scaling_guidance():
+    sections, _, _ = parse_doc(DOC.read_text())
+    assert any(s.startswith("Scaling guidance") for s in sections), (
+        "docs/fleet.md is missing the scaling-guidance section"
+    )
+
+
+def test_parser_actually_found_tables():
+    # Guard against the parser silently matching nothing (which would make
+    # the diff tests vacuous if the doc layout changed).
+    _, rows, class_fields = parse_doc(DOC.read_text())
+    assert len(rows.get("Balancer policies", [])) >= 4
+    assert len(rows.get("Traffic presets", [])) >= 4
+    assert len(class_fields) == 4
+    assert all(fields for fields in class_fields.values())

@@ -44,6 +44,16 @@ SAMPLE_PAYLOADS = {
     ),
     "degraded": dict(services=["masstree"], held_allocation=True),
     "run_end": dict(steps=10, wall_time_s=1.25),
+    "cluster_interval": dict(
+        nodes=4,
+        services={
+            "masstree": dict(
+                offered_rps=4000.0, served_rps=3900.0, qos_nodes=3,
+                worst_p99_ms=2.5, mean_p99_ms=1.2,
+            )
+        },
+        qos_guarantee=0.75, power_w=220.0, true_power_w=218.0, energy_j=5000.0,
+    ),
 }
 
 
@@ -62,7 +72,7 @@ def test_every_event_type_round_trips(ev):
 
 def test_envelope_is_stable():
     assert ENVELOPE_FIELDS == {"ev": "str", "v": "int", "t": "int"}
-    assert OPTIONAL_ENVELOPE_FIELDS == {"env": "int"}
+    assert OPTIONAL_ENVELOPE_FIELDS == {"env": "int", "node": "int"}
 
 
 @pytest.mark.parametrize("ev", sorted(EVENT_REGISTRY))

@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-robust test-fleet trace-e2e bench bench-smoke docs-check
+.PHONY: test test-robust test-fleet test-hier trace-e2e bench bench-smoke docs-check
 
 ## Tier-1: the full unit/property/integration suite (excludes -m slow).
 ## Includes tests/test_repo_hygiene.py, which fails if bytecode, caches,
@@ -31,6 +31,13 @@ test-fleet:
 	$(PYTEST) -q tests/test_engine_vector.py tests/test_cluster_traffic.py \
 		tests/test_cluster_balancer.py tests/test_cluster_environment.py \
 		tests/test_fleet_doc.py
+
+## Hierarchical control: budget allocator + HierFleetTwig masking/reward
+## shaping, provisioning transfer, degraded-node shedding, rule fleets,
+## and hier checkpoint resume bit-identity.
+test-hier:
+	$(PYTEST) -q tests/test_hier.py tests/test_cluster_balancer.py \
+		tests/test_cluster_traffic.py tests/test_fleet_doc.py
 
 ## Schema/doc consistency: docs/observability.md vs the event registry,
 ## docs/fleet.md vs the cluster layer.

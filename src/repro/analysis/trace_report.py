@@ -131,6 +131,46 @@ def cluster_summary(
     }
 
 
+def hier_summary(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Hierarchical-control aggregates from ``budget_assign`` events.
+
+    Returns ``None`` for traces without an allocator. Otherwise: the
+    per-assignment budget-level and mean-budget series, the allocator's
+    reward series (first assignment excluded — it carries no reward), and
+    the count of ``node_provisioned`` events.
+    """
+    assigns = [e for e in events if e.get("ev") == "budget_assign"]
+    if not assigns:
+        return None
+    return {
+        "assignments": len(assigns),
+        "period": assigns[-1]["period"],
+        "level": [a["level"] for a in assigns],
+        "mean_budget_w": [a["mean_budget_w"] for a in assigns],
+        "reward": [a["reward"] for a in assigns[1:]],
+        "provisioned": sum(1 for e in events if e.get("ev") == "node_provisioned"),
+    }
+
+
+def render_hier(summary: Dict[str, Any]) -> str:
+    """Render the budget-allocator section of ``repro trace report``."""
+    lines = [
+        f"  level    {sparkline(summary['level'], low=0.0, high=1.0)}",
+        f"  budget W {sparkline(summary['mean_budget_w'])}",
+    ]
+    if summary["reward"]:
+        lines.append(f"  reward   {sparkline(summary['reward'])}")
+    lines.append(
+        f"  final level {summary['level'][-1]:.2f}, final mean budget "
+        f"{summary['mean_budget_w'][-1]:.1f} W"
+    )
+    if summary["provisioned"]:
+        lines.append(
+            f"  {summary['provisioned']} node(s) provisioned via policy transfer"
+        )
+    return "\n".join(lines)
+
+
 def render_cluster(summary: Dict[str, Any]) -> str:
     """Render the cluster-aggregates section of ``repro trace report``."""
     lines = [
@@ -264,6 +304,14 @@ def render_report(
             f"Cluster ({cluster['nodes']} nodes, {cluster['intervals']} intervals)"
         )
         lines.append(render_cluster(cluster))
+    hier = hier_summary(events)
+    if hier is not None:
+        lines.append("")
+        lines.append(
+            f"Budget allocator ({hier['assignments']} assignments, "
+            f"period {hier['period']})"
+        )
+        lines.append(render_hier(hier))
     if timings:
         lines.append("")
         lines.append("Timings")

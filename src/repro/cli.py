@@ -131,6 +131,27 @@ def _config_for(
         if kwargs.get("num_nodes", ClusterConfig.num_nodes) == 1:
             kwargs.setdefault("regions", ("r0",))
         return ClusterConfig(**kwargs)
+    if experiment_id == "hier":
+        from repro.experiments.hier import HierConfig
+
+        kwargs = {}
+        if scale == "quick":
+            kwargs.update(
+                num_nodes=8, steps=80, epsilon_mid_steps=30,
+                epsilon_final_steps=60, window=40, budget_period=5,
+            )
+        if overrides is not None:
+            for flag, key in (
+                ("nodes", "num_nodes"), ("seed", "seed"),
+                ("balancer", "balancer"), ("traffic_preset", "traffic"),
+                ("levels", "levels"), ("budget_period", "budget_period"),
+            ):
+                value = getattr(overrides, flag, None)
+                if value is not None:
+                    kwargs[key] = value
+        if kwargs.get("num_nodes", HierConfig.num_nodes) == 1:
+            kwargs.setdefault("regions", ("r0",))
+        return HierConfig(**kwargs)
     return None
 
 
@@ -410,6 +431,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--traffic", dest="traffic_preset", default=None,
         help="cluster experiment only: traffic preset "
              "(steady, diurnal, flash_crowd, regional_shift)",
+    )
+    run_parser.add_argument(
+        "--levels", type=int, default=None, metavar="N",
+        help="hier experiment only: size of the allocator's budget ladder",
+    )
+    run_parser.add_argument(
+        "--budget-period", dest="budget_period", type=int, default=None,
+        metavar="K",
+        help="hier experiment only: control intervals between budget "
+             "assignments",
     )
     run_parser.set_defaults(func=cmd_run)
 

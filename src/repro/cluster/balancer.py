@@ -54,12 +54,16 @@ class NodeLoads:
 
     All arrays are ``(N, S)``: the arrival rates the balancer assigned,
     the utilization the simulation measured, and the request backlog left
-    over (non-zero only for overloaded services).
+    over (non-zero only for overloaded services). ``degraded`` is an
+    optional ``(N,)`` boolean mask marking nodes whose telemetry came
+    back non-finite last interval (crashed/faulted services) — balancers
+    shed load away from marked nodes until their telemetry recovers.
     """
 
     arrival_rps: np.ndarray
     utilization: np.ndarray
     backlog: np.ndarray
+    degraded: Optional[np.ndarray] = None
 
     def pressure(self) -> np.ndarray:
         """Scalar per-node pressure in roughly ``[0, 2]``.
@@ -67,11 +71,22 @@ class NodeLoads:
         Mean utilization across the node's services, plus a backlog term
         (backlog relative to one interval's arrivals, capped at 1) so an
         overloaded node reads as strictly busier than a saturated one.
+        Non-finite telemetry (a faulted node) reads as fully saturated
+        rather than poisoning downstream share computations with NaN.
         """
-        util = np.clip(self.utilization, 0.0, 1.0).mean(axis=1)
-        arrivals = np.maximum(self.arrival_rps.sum(axis=1), 1.0)
-        backlog = np.minimum(self.backlog.sum(axis=1) / arrivals, 1.0)
+        util = np.where(np.isfinite(self.utilization), self.utilization, 1.0)
+        util = np.clip(util, 0.0, 1.0).mean(axis=1)
+        backlog_raw = np.where(np.isfinite(self.backlog), self.backlog, 0.0)
+        arrivals = np.where(np.isfinite(self.arrival_rps), self.arrival_rps, 0.0)
+        arrivals = np.maximum(arrivals.sum(axis=1), 1.0)
+        backlog = np.minimum(backlog_raw.sum(axis=1) / arrivals, 1.0)
         return util + backlog
+
+    def degraded_mask(self) -> Optional[np.ndarray]:
+        """The ``(N,)`` degraded-node mask, or ``None`` if untracked."""
+        if self.degraded is None:
+            return None
+        return np.asarray(self.degraded, dtype=bool)
 
 
 class LoadBalancer:
@@ -96,11 +111,14 @@ class LoadBalancer:
         if (demand < 0).any() or not np.isfinite(demand).all():
             raise ConfigurationError("demand must be finite and non-negative")
         pressure = loads.pressure() if loads is not None else None
+        degraded = loads.degraded_mask() if loads is not None else None
         rates = np.zeros((N, demand.shape[1]))
         for r in range(R):
             nodes = self.topology.region_nodes(r)
             node_pressure = pressure[nodes] if pressure is not None else None
             shares = self._shares(r, t, len(nodes), demand[r], node_pressure)
+            if degraded is not None:
+                shares = _shed_degraded(shares, degraded[nodes])
             rates[nodes] = shares * demand[r][None, :]
         return rates
 
@@ -121,6 +139,31 @@ class LoadBalancer:
 
     def load_state_dict(self, tree: Dict[str, Any]) -> None:
         """Restore :meth:`state_dict` state; no-op for stateless policies."""
+
+
+def _shed_degraded(shares: np.ndarray, degraded: np.ndarray) -> np.ndarray:
+    """Zero degraded nodes' shares and renormalize each service column.
+
+    Live nodes absorb the shed traffic proportionally to their existing
+    shares; a column whose live shares collapsed to zero falls back to
+    uniform-over-live. If *every* node in the region is degraded there is
+    nowhere to shed to, so the original shares are kept — conservation
+    always holds.
+    """
+    degraded = np.asarray(degraded, dtype=bool)
+    if not degraded.any() or degraded.all():
+        return shares
+    shed = shares.copy()
+    shed[degraded] = 0.0
+    live = ~degraded
+    column_total = shed.sum(axis=0)
+    uniform_live = live.astype(np.float64) / live.sum()
+    for s in range(shed.shape[1]):
+        if column_total[s] > 0.0:
+            shed[:, s] /= column_total[s]
+        else:
+            shed[:, s] = uniform_live
+    return shed
 
 
 class RoundRobinBalancer(LoadBalancer):
@@ -178,7 +221,15 @@ class LeastLoadedBalancer(LoadBalancer):
             # The floor keeps every node receiving some traffic, so a
             # transiently saturated node is never starved of feedback.
             headroom = np.maximum(1.0 - pressure, self.floor)
-        shares = headroom / headroom.sum()
+        total = headroom.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            # All-saturated feedback can leave every headroom pinned to
+            # the floor; with a tiny floor (or non-finite pressure) the
+            # sum can underflow or go NaN. Fall back to a uniform split,
+            # which is both finite and conserving.
+            shares = np.full(n, 1.0 / n)
+        else:
+            shares = headroom / total
         return np.broadcast_to(shares[:, None], (n, len(demand))).copy()
 
 
@@ -195,7 +246,14 @@ class PowerOfTwoBalancer(LoadBalancer):
         self._rng = np.random.default_rng(seed)
 
     def _shares(self, region, t, n, demand, pressure):
-        running = np.zeros(n) if pressure is None else pressure.astype(np.float64).copy()
+        if pressure is None:
+            running = np.zeros(n)
+        else:
+            # Non-finite pressure (a faulted node) must lose every
+            # two-choice comparison, not win ties via NaN semantics.
+            running = np.where(
+                np.isfinite(pressure), pressure.astype(np.float64), np.inf
+            )
         counts = np.zeros(n)
         choices = self._rng.integers(0, n, size=(self.granularity, 2))
         chunk_load = 1.0 / self.granularity

@@ -199,10 +199,16 @@ class ClusterEnvironment(VectorEnvironment):
         return rates
 
     def _post_step(self, results: List[StepResult], arrays: Dict[str, np.ndarray]) -> None:
+        # A node whose telemetry came back non-finite (e.g. a
+        # service_crash fault NaN-ing its p99) is marked degraded so the
+        # balancer sheds its traffic onto live nodes next interval.
+        degraded = ~np.isfinite(arrays["p99"]).all(axis=1)
+        degraded |= ~np.isfinite(arrays["utilization"]).all(axis=1)
         self._last_loads = NodeLoads(
             arrival_rps=arrays["arrivals"],
             utilization=arrays["utilization"],
             backlog=arrays["backlog"],
+            degraded=degraded,
         )
         if self.envs[0].trace.enabled:
             self._emit_cluster_interval(results, arrays)
@@ -251,6 +257,10 @@ class ClusterEnvironment(VectorEnvironment):
                 "utilization": np.asarray(self._last_loads.utilization),
                 "backlog": np.asarray(self._last_loads.backlog),
             }
+            if self._last_loads.degraded is not None:
+                cluster["loads"]["degraded"] = np.asarray(
+                    self._last_loads.degraded, dtype=bool
+                )
         tree["cluster"] = cluster
         return tree
 
@@ -268,10 +278,14 @@ class ClusterEnvironment(VectorEnvironment):
         loads = cluster.get("loads")
         if loads is not None:
             loads = dict(loads)
+            degraded = loads.get("degraded")
             self._last_loads = NodeLoads(
                 arrival_rps=np.asarray(loads["arrival_rps"], dtype=np.float64),
                 utilization=np.asarray(loads["utilization"], dtype=np.float64),
                 backlog=np.asarray(loads["backlog"], dtype=np.float64),
+                degraded=(
+                    None if degraded is None else np.asarray(degraded, dtype=bool)
+                ),
             )
         else:
             self._last_loads = None

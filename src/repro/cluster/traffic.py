@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.ckpt.checkpoint import rng_state, set_rng_state
 from repro.cluster.topology import ClusterTopology
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.services.loadgen import LoadGenerator
 from repro.services.profiles import get_profile
 
@@ -240,10 +240,36 @@ class TrafficModel:
     # ------------------------------------------------------------------ #
     # checkpointing
     # ------------------------------------------------------------------ #
+    def spec_fingerprint(self) -> str:
+        """Deterministic identity of the spec + topology driving demand.
+
+        ``demand(t)`` is a pure function of ``t``, the spec, the topology
+        and the RNG stream. The RNG state alone used to be the whole
+        checkpoint, which silently produced drifted traffic when a resume
+        paired the saved stream with a *different* spec — e.g. restoring
+        mid-:class:`FlashCrowd` into a model whose crowd window differs.
+        The fingerprint pins the other two inputs.
+        """
+        return (
+            f"{self.spec!r}|nodes={self.topology.num_nodes}"
+            f"|regions={tuple(self.topology.regions)!r}"
+        )
+
     def state_dict(self) -> Dict[str, Any]:
-        return {"rng": rng_state(self._rng)}
+        return {
+            "rng": rng_state(self._rng),
+            "spec": self.spec_fingerprint(),
+        }
 
     def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        saved = tree.get("spec")
+        if saved is not None:
+            saved = str(np.asarray(saved)[()]) if isinstance(saved, np.ndarray) else str(saved)
+            if saved != self.spec_fingerprint():
+                raise CheckpointError(
+                    "traffic checkpoint was written by a different spec/topology; "
+                    f"saved {saved!r}, model has {self.spec_fingerprint()!r}"
+                )
         set_rng_state(self._rng, dict(tree["rng"]))
 
 

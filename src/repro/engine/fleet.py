@@ -390,7 +390,7 @@ class FleetTwig:
                     self._last_allocations[e] = self._initial_allocations()
                 assignments[e] = self.mapper.map(self._last_allocations[e])
                 continue
-            breakdowns = self._compute_rewards(e, result)
+            breakdowns = self._shape_rewards(e, self._compute_rewards(e, result))
             breakdowns_by_env[e] = breakdowns
             rewards = {name: b.total for name, b in breakdowns.items()}
             if self._prev_states[e] is not None and self._prev_actions[e] is not None:
@@ -417,6 +417,16 @@ class FleetTwig:
                     name: self.action_space.decode(actions[k])
                     for k, name in enumerate(self.service_order)
                 }
+                constrained = self._constrain_allocations(e, allocations, results[e])
+                if constrained is not allocations:
+                    # A subclass repaired the decoded actions (e.g. the
+                    # hierarchical budget mask); learn from what actually
+                    # executed, not from the unconstrained proposal.
+                    allocations = constrained
+                    actions = [
+                        self.action_space.encode(allocations[name])
+                        for name in self.service_order
+                    ]
                 if self.trace.enabled:
                     self._emit_decisions(e, results[e], breakdowns_by_env[e], allocations)
                 self._prev_states[e] = states[row]
@@ -482,6 +492,12 @@ class FleetTwig:
             name,
             Allocation(self.action_space.max_cores, len(self.spec.dvfs) - 1),
         )
+        return self._allocation_power(name, allocation, arrival_rate)
+
+    def _allocation_power(
+        self, name: str, allocation: Allocation, arrival_rate: float
+    ) -> float:
+        """Equation-2 power estimate for an arbitrary candidate allocation."""
         freq = self.spec.dvfs[allocation.freq_index]
         model = self.power_models.get(name)
         if model is not None and model.fitted:
@@ -494,6 +510,35 @@ class FleetTwig:
         effective = utilization + profile.active_idle_util * (1.0 - utilization)
         per_core = physical.core_dynamic_w(freq, effective)
         return max(per_core * allocation.num_cores, 0.5)
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks (hierarchical control plumbs budgets through these)
+    # ------------------------------------------------------------------ #
+    def _shape_rewards(
+        self, env_index: int, breakdowns: Dict[str, RewardBreakdown]
+    ) -> Dict[str, RewardBreakdown]:
+        """Hook: adjust this tick's reward breakdowns before learning.
+
+        The base fleet applies Equation-1 unmodified;
+        :class:`repro.hier.manager.HierFleetTwig` subtracts a budget
+        overshoot penalty here.
+        """
+        return breakdowns
+
+    def _constrain_allocations(
+        self,
+        env_index: int,
+        allocations: Dict[str, Allocation],
+        result: StepResult,
+    ) -> Dict[str, Allocation]:
+        """Hook: repair decoded allocations before they are installed.
+
+        Must be deterministic (no RNG draws) so batched acting stays
+        stream-compatible with the scalar path. Return the *same* object
+        when nothing changes; a new dict signals that the executed
+        actions must be re-encoded for learning.
+        """
+        return allocations
 
     def _emit_decisions(
         self,

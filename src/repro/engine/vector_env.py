@@ -175,12 +175,6 @@ class VectorEnvironment:
     def _validate_homogeneous(self) -> None:
         base = self.envs[0]
         for e, env in enumerate(self.envs):
-            if env.faults is not None:
-                raise ConfigurationError(
-                    "VectorEnvironment does not support fault injection; "
-                    f"environment {e} has an injector attached "
-                    "(use the scalar engine for fault studies)"
-                )
             if list(env.services) != self.names:
                 raise ConfigurationError(
                     f"environment {e} hosts services {list(env.services)}, "
@@ -464,6 +458,24 @@ class VectorEnvironment:
             env.rapl.energy_j += float(readings[e]) * interval
             env.rapl.last_reading_w = {socket: float(readings[e])}
             env.time += 1
+            applied = []
+            if env.faults is not None:
+                # Same ordering as the scalar path: injected after
+                # power/RAPL, so sensor faults corrupt what the manager
+                # *sees*, not what the machine drew. The per-env injector
+                # RNG is consumed here, draw-for-draw with the oracle.
+                observations, applied = env.faults.apply(
+                    env.time, observations, env.services
+                )
+                if applied:
+                    # Refresh the fused arrays so downstream feedback
+                    # (_post_step, cluster NodeLoads) sees the faulted view.
+                    for i, name in enumerate(self.names):
+                        obs = observations[name]
+                        throughput[e, i] = obs.interval.throughput_rps
+                        p99[e, i] = obs.p99_ms
+                        utilization[e, i] = obs.interval.utilization
+                        new_backlog[e, i] = obs.interval.backlog
             step_result = StepResult(
                 time=env.time,
                 observations=observations,
@@ -474,6 +486,19 @@ class VectorEnvironment:
             )
             env.last_result = step_result
             if env.trace.enabled:
+                for fault in applied:
+                    env.trace.emit(
+                        make_event(
+                            "fault",
+                            env.time,
+                            service=fault.service,
+                            kind=fault.kind,
+                            magnitude=float(fault.magnitude),
+                            start=fault.start,
+                            duration=fault.duration,
+                            **{self.index_tag: e},
+                        )
+                    )
                 self._emit_step_events(env, e, step_result)
             results.append(step_result)
         self._post_step(

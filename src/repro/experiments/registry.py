@@ -58,6 +58,8 @@ _ENTRIES = [
                     "Vectorized N-environment fleet rollout (lock-step engine)"),
     ExperimentEntry("cluster", "repro.experiments.cluster",
                     "Load-balanced multi-node cluster with trace-driven traffic"),
+    ExperimentEntry("hier", "repro.experiments.hier",
+                    "Hierarchical fleet control: budget allocator over Twig leaves"),
 ]
 
 REGISTRY: Dict[str, ExperimentEntry] = {e.experiment_id: e for e in _ENTRIES}

@@ -1,0 +1,232 @@
+"""The top-level budget allocator of the hierarchical control stack.
+
+One small :class:`~repro.rl.agent.BDQAgent` arbitrates power across the
+whole fleet. Its state is a fixed-size vector of *fleet aggregates*
+(mean utilization, QoS guarantee, violating-node fraction, normalized
+power, and its own current decision), so the allocator's network never
+grows with the node count — 10 or 1000 nodes see the same six-feature
+observation. Its action is two branches:
+
+- a **budget level** from a ladder of ``levels`` fractions spanning
+  ``[floor_fraction, 1.0]`` of a node's maximum socket power, and
+- a **slack tilt** from a ladder of ``tilts`` strengths in
+  ``[0, tilt_strength]`` that skews watts toward nodes that violated
+  QoS during the last window (per-node budgets stay clipped to
+  ``[floor_fraction, 1.0] x max power``).
+
+Budgets are *advisory pressure*, not hard caps: the leaf agents are
+penalized for exceeding them (reward shaping) and their decoded actions
+are greedily repaired down to the budget (action masking) — both in
+:class:`~repro.hier.manager.HierFleetTwig`. The allocator is rewarded
+per window with ``qos_guarantee - energy_weight * normalized_power``,
+so it learns to hand out the smallest budgets that keep QoS intact.
+
+:class:`BudgetConfig` is documented in ``docs/fleet.md`` (schema-diffed
+by ``tests/test_fleet_doc.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigurationError, ShapeError
+from repro.rl.agent import BDQAgent, BDQAgentConfig, Transition
+
+#: Allocator epsilon anneal, in *allocator decisions* (one per
+#: ``period`` control ticks), so exploration dies out after ~100 budget
+#: windows regardless of the leaf schedule.
+_EPSILON_MID_DECISIONS = 30
+_EPSILON_FINAL_DECISIONS = 90
+
+
+@dataclass(frozen=True)
+class BudgetConfig:
+    """Knobs of the top-level budget allocator."""
+
+    period: int = 10
+    levels: int = 5
+    tilts: int = 3
+    floor_fraction: float = 0.3
+    tilt_strength: float = 0.25
+    energy_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {self.period}")
+        if self.levels < 2:
+            raise ConfigurationError(f"levels must be >= 2, got {self.levels}")
+        if self.tilts < 1:
+            raise ConfigurationError(f"tilts must be >= 1, got {self.tilts}")
+        if not 0.0 < self.floor_fraction < 1.0:
+            raise ConfigurationError(
+                f"floor_fraction out of (0, 1): {self.floor_fraction}"
+            )
+        if self.tilt_strength < 0:
+            raise ConfigurationError(
+                f"tilt_strength must be >= 0, got {self.tilt_strength}"
+            )
+        if self.energy_weight < 0:
+            raise ConfigurationError(
+                f"energy_weight must be >= 0, got {self.energy_weight}"
+            )
+
+
+class BudgetAllocator:
+    """Fleet-aggregate BDQ agent choosing (budget level, slack tilt)."""
+
+    #: Fleet-aggregate observation: mean utilization, QoS guarantee,
+    #: violating-node fraction, normalized fleet power, current level,
+    #: current tilt (both normalized).
+    STATE_DIM = 6
+
+    def __init__(
+        self,
+        config: BudgetConfig,
+        max_power_w: float,
+        rng: np.random.Generator,
+    ):
+        if max_power_w <= 0:
+            raise ConfigurationError(f"max_power_w must be > 0, got {max_power_w}")
+        self.config = config
+        self.max_power_w = float(max_power_w)
+        self.level_ladder = np.linspace(config.floor_fraction, 1.0, config.levels)
+        self.tilt_ladder = np.linspace(0.0, config.tilt_strength, config.tilts)
+        agent_config = BDQAgentConfig(
+            state_dim=self.STATE_DIM,
+            branch_sizes=[[config.levels, config.tilts]],
+            learning_rate=0.001,
+            batch_size=8,
+            buffer_capacity=256,
+            min_buffer_size=16,
+            target_update_every=20,
+            epsilon_mid_steps=_EPSILON_MID_DECISIONS,
+            epsilon_final_steps=_EPSILON_FINAL_DECISIONS,
+            per_beta_steps=_EPSILON_FINAL_DECISIONS,
+            shared_hidden=(32, 16),
+            branch_hidden=16,
+            dropout=0.0,
+        )
+        self.agent = BDQAgent(agent_config, rng)
+        # Start wide open (budget = max power, no tilt) so the fleet is
+        # unconstrained until the allocator has seen a window.
+        self._level_idx = config.levels - 1
+        self._tilt_idx = 0
+        self._prev_state: Optional[np.ndarray] = None
+        self._prev_actions: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # decisions
+    # ------------------------------------------------------------------ #
+    @property
+    def level(self) -> float:
+        """Current budget level as a fraction of node max power."""
+        return float(self.level_ladder[self._level_idx])
+
+    @property
+    def tilt(self) -> float:
+        """Current slack-tilt strength."""
+        return float(self.tilt_ladder[self._tilt_idx])
+
+    @property
+    def primed(self) -> bool:
+        """Whether a previous decision is pending a reward."""
+        return self._prev_state is not None
+
+    def decide(
+        self, state: np.ndarray, reward: Optional[float] = None
+    ) -> tuple:
+        """Observe the window's aggregate state and pick the next budget.
+
+        ``reward`` closes the previous decision's transition (ignored on
+        the first call, when there is nothing to learn from yet).
+        Returns ``(level, tilt)``.
+        """
+        state = np.asarray(state, dtype=np.float64).reshape(-1)
+        if state.shape[0] != self.STATE_DIM:
+            raise ShapeError(
+                f"allocator state has dim {state.shape[0]}, expected {self.STATE_DIM}"
+            )
+        if self._prev_state is not None and reward is not None:
+            self.agent.observe(
+                Transition(
+                    state=self._prev_state,
+                    actions=self._prev_actions,
+                    rewards=np.array([float(reward)]),
+                    next_state=state,
+                )
+            )
+        actions = self.agent.act(state)
+        self._prev_state = state
+        self._prev_actions = [list(map(int, a)) for a in actions]
+        self._level_idx = int(actions[0][0])
+        self._tilt_idx = int(actions[0][1])
+        return self.level, self.tilt
+
+    def budgets(self, slack: np.ndarray) -> np.ndarray:
+        """Per-node watt budgets for the current (level, tilt).
+
+        ``slack`` is the ``(N,)`` per-node violation fraction from the
+        last window (higher = node struggling more). The tilt shifts
+        watts toward above-average-slack nodes; budgets stay clipped to
+        ``[floor_fraction, 1.0] x max_power_w`` so no node is starved or
+        over-provisioned past the socket cap.
+        """
+        slack = np.asarray(slack, dtype=np.float64).reshape(-1)
+        slack = np.where(np.isfinite(slack), slack, 1.0)
+        base = self.level * self.max_power_w
+        centered = slack - slack.mean() if slack.size else slack
+        budgets = base * (1.0 + self.tilt * centered)
+        floor = self.config.floor_fraction * self.max_power_w
+        return np.clip(budgets, floor, self.max_power_w)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Agent tree plus the pending decision and current indices."""
+        tree: Dict[str, Any] = {
+            "agent": self.agent.state_dict(),
+            "level_idx": int(self._level_idx),
+            "tilt_idx": int(self._tilt_idx),
+            "prev_actions": (
+                None
+                if self._prev_actions is None
+                else [[int(a) for a in branch] for branch in self._prev_actions]
+            ),
+        }
+        if self._prev_state is not None:
+            tree["prev_state"] = np.asarray(self._prev_state, dtype=np.float64).copy()
+        return tree
+
+    def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` state (stage-then-commit)."""
+        try:
+            agent_tree = dict(tree["agent"])
+            level_idx = int(tree["level_idx"])
+            tilt_idx = int(tree["tilt_idx"])
+            prev_actions = tree["prev_actions"]
+            if prev_actions is not None:
+                prev_actions = [[int(a) for a in branch] for branch in prev_actions]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed allocator checkpoint: {exc}") from exc
+        if not 0 <= level_idx < len(self.level_ladder):
+            raise CheckpointError(f"allocator level index {level_idx} out of range")
+        if not 0 <= tilt_idx < len(self.tilt_ladder):
+            raise CheckpointError(f"allocator tilt index {tilt_idx} out of range")
+        prev_state = tree.get("prev_state")
+        if prev_state is not None:
+            prev_state = np.asarray(prev_state, dtype=np.float64).reshape(-1)
+            if prev_state.shape[0] != self.STATE_DIM:
+                raise CheckpointError(
+                    f"allocator prev_state dim {prev_state.shape[0]} != {self.STATE_DIM}"
+                )
+        # The agent load is itself stage-then-commit and is the only part
+        # that can still reject; run it before committing scalars.
+        self.agent.load_state_dict(agent_tree)
+        self._level_idx = level_idx
+        self._tilt_idx = tilt_idx
+        self._prev_actions = prev_actions
+        self._prev_state = prev_state

@@ -1,0 +1,129 @@
+"""Rule-based fleets: Static/Heracles/PARTIES behind the fleet interface.
+
+The hierarchical experiment compares the allocator + Twig-leaf stack
+against the paper's rule-based managers at fleet scale. Those managers
+are scalar (one node each), so :class:`RuleFleet` wraps N independent
+instances behind the same lock-step manager interface
+:func:`~repro.engine.rollout.run_fleet` drives — each node's manager
+sees only its own :class:`~repro.sim.environment.StepResult`, exactly as
+N real nodes running N independent controllers would.
+
+Rule managers carry no learned state worth checkpointing mid-run (their
+controllers are cheap to re-run), so :meth:`RuleFleet.state_dict` is
+identity-only; resuming a rule fleet restarts its controllers from their
+deterministic initial state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.heracles import HeraclesManager
+from repro.baselines.parties import PartiesManager
+from repro.baselines.static import StaticManager
+from repro.errors import CheckpointError, ConfigurationError, ShapeError
+from repro.obs.sink import NULL_SINK, TraceSink
+from repro.obs.timing import TimingRegistry
+from repro.server.machine import CoreAssignment
+from repro.server.spec import ServerSpec
+from repro.services.profiles import get_profile
+from repro.sim.environment import StepResult
+
+#: Rule-based baselines the hierarchical experiment accepts.
+RULE_BASELINES = ("static", "heracles", "parties")
+
+
+class RuleFleet:
+    """N independent scalar rule managers behind the fleet interface."""
+
+    CKPT_KIND = "rule_fleet"
+
+    def __init__(self, name: str, managers: Sequence[Any]):
+        if not managers:
+            raise ConfigurationError("RuleFleet needs at least one manager")
+        self.name = name
+        self.managers = list(managers)
+        self.num_envs = len(self.managers)
+        self.index_tag = "env"
+        self.trace: TraceSink = NULL_SINK
+
+    def initial_assignments(self) -> List[Dict[str, CoreAssignment]]:
+        return [m.initial_assignments() for m in self.managers]
+
+    def update_batch(
+        self, results: Sequence[StepResult]
+    ) -> List[Dict[str, CoreAssignment]]:
+        if len(results) != self.num_envs:
+            raise ShapeError(f"expected {self.num_envs} results, got {len(results)}")
+        return [m.update(r) for m, r in zip(self.managers, results)]
+
+    def attach_obs(
+        self, trace: Optional[TraceSink], timings: Optional[TimingRegistry]
+    ) -> None:
+        if trace is not None:
+            self.trace = trace
+
+    def exploit(self) -> None:
+        """Rule managers have no exploration to freeze."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "num_envs": self.num_envs}
+
+    def load_state_dict(self, tree: Dict[str, Any]) -> None:
+        try:
+            name = str(tree["name"])
+            num_envs = int(tree["num_envs"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed rule-fleet checkpoint: {exc}") from exc
+        if name != self.name or num_envs != self.num_envs:
+            raise CheckpointError(
+                f"checkpoint is for {name!r} x {num_envs}, this fleet is "
+                f"{self.name!r} x {self.num_envs}"
+            )
+
+
+def make_rule_fleet(
+    name: str,
+    services: Sequence[str],
+    num_envs: int,
+    seed: int,
+    spec: Optional[ServerSpec] = None,
+) -> RuleFleet:
+    """Build an N-node fleet of one rule-based baseline.
+
+    Heracles is the paper's single-service controller; asking for it with
+    a colocation is a configuration error rather than a silent partial
+    assignment.
+    """
+    if name not in RULE_BASELINES:
+        raise ConfigurationError(
+            f"unknown rule baseline {name!r}; known: {sorted(RULE_BASELINES)}"
+        )
+    if num_envs < 1:
+        raise ConfigurationError(f"num_envs must be >= 1, got {num_envs}")
+    services = list(services)
+    if not services:
+        raise ConfigurationError("need at least one service")
+    if name == "static":
+        managers = [
+            StaticManager(services, spec=spec) for _ in range(num_envs)
+        ]
+    elif name == "heracles":
+        if len(services) != 1:
+            raise ConfigurationError(
+                "heracles manages exactly one LC service per node; got "
+                f"{services}"
+            )
+        managers = [
+            HeraclesManager(get_profile(services[0]), spec=spec)
+            for _ in range(num_envs)
+        ]
+    else:
+        profiles = [get_profile(s) for s in services]
+        managers = [
+            PartiesManager(profiles, np.random.default_rng(seed + 1 + e), spec=spec)
+            for e in range(num_envs)
+        ]
+    return RuleFleet(name, managers)

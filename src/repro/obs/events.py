@@ -172,6 +172,30 @@ EVENT_REGISTRY: Dict[str, EventSpec] = {
             ("true_power_w", "float", "Summed ground-truth node power"),
             ("energy_j", "float", "Cumulative cluster-wide energy"),
         ),
+        _spec(
+            "budget_assign", "repro.hier.manager",
+            "The fleet budget allocator assigned per-node power budgets "
+            "for the next budget window.",
+            ("level", "float", "Chosen budget ladder level (fraction of node "
+                               "max power)"),
+            ("tilt", "float", "Chosen slack-tilt strength shifting watts "
+                              "toward violating nodes"),
+            ("mean_budget_w", "float", "Mean per-node budget in watts"),
+            ("min_budget_w", "float", "Smallest per-node budget in watts"),
+            ("max_budget_w", "float", "Largest per-node budget in watts"),
+            ("period", "int", "Control intervals until the next assignment"),
+            ("reward", "float", "Allocator reward for the window just ended "
+                                "(0 on the first assignment)"),
+        ),
+        _spec(
+            "node_provisioned", "repro.hier.provision",
+            "A freshly provisioned fleet received transferred leaf-policy "
+            "weights from a checkpoint (trunk kept, heads re-randomized).",
+            ("source", "str", "Checkpoint path the weights came from"),
+            ("services", "list", "Services covered by the transferred policy"),
+            ("restart_epsilon_at", "int", "Agent step the epsilon/beta "
+                                          "schedules rewound to"),
+        ),
     )
 }
 

@@ -193,6 +193,116 @@ class TestShardedByKey:
         assert skewed.max() > flat.max()
 
 
+class TestAllSaturated:
+    """Regression: all-saturated feedback must stay finite and conserving."""
+
+    def _saturated_loads(self, n, services=2):
+        # Every node fully saturated with a deep backlog: pressure ~2.0,
+        # headroom pinned to the floor on every node.
+        return NodeLoads(
+            arrival_rps=np.full((n, services), 100.0),
+            utilization=np.ones((n, services)),
+            backlog=np.full((n, services), 500.0),
+        )
+
+    @pytest.mark.parametrize("policy", ("least_loaded", "power_of_two"))
+    def test_all_saturated_is_finite_and_conserving(self, policy):
+        topology = _topology(num_nodes=6, regions=("r0", "r1"))
+        balancer = make_balancer(policy, topology, seed=3)
+        demand = _demand(topology, services=2)
+        rates = balancer.assign(1, demand, self._saturated_loads(6))
+        assert np.isfinite(rates).all()
+        assert (rates >= 0).all()
+        for r in range(topology.num_regions):
+            nodes = topology.region_nodes(r)
+            np.testing.assert_allclose(
+                rates[nodes].sum(axis=0), demand[r], rtol=0, atol=1e-9
+            )
+
+    def test_least_loaded_underflowed_headroom_splits_uniformly(self):
+        # Drive the headroom sum below any meaningful scale via a tiny
+        # floor: the fallback must be a uniform split, not NaN shares.
+        topology = _topology(num_nodes=4, regions=("r0",))
+        balancer = LeastLoadedBalancer(topology, floor=1e-300)
+        shares = balancer._shares(0, 1, 4, np.array([400.0]), np.full(4, 2.0) * 1e300)
+        assert np.isfinite(shares).all()
+        np.testing.assert_allclose(shares.sum(axis=0), 1.0, atol=1e-9)
+        np.testing.assert_allclose(shares[:, 0], 0.25)
+
+    def test_least_loaded_nan_pressure_is_finite(self):
+        topology = _topology(num_nodes=3, regions=("r0",))
+        balancer = LeastLoadedBalancer(topology)
+        shares = balancer._shares(
+            0, 1, 3, np.array([300.0]), np.array([np.nan, 0.5, np.nan])
+        )
+        assert np.isfinite(shares).all()
+        np.testing.assert_allclose(shares.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_power_of_two_nan_pressure_loses_ties(self):
+        topology = _topology(num_nodes=2, regions=("r0",))
+        balancer = PowerOfTwoBalancer(topology, seed=1, granularity=256)
+        loads = NodeLoads(
+            arrival_rps=np.full((2, 1), 100.0),
+            utilization=np.array([[np.nan], [0.5]]),
+            backlog=np.zeros((2, 1)),
+        )
+        rates = balancer.assign(1, np.array([[200.0]]), loads)
+        assert np.isfinite(rates).all()
+        # The NaN-telemetry node reads as saturated: it only receives
+        # chunks when both choices land on it.
+        assert rates[0, 0] < rates[1, 0]
+
+
+class TestDegradedShedding:
+    def _loads_with_degraded(self, n, degraded, services=2):
+        return NodeLoads(
+            arrival_rps=np.full((n, services), 100.0),
+            utilization=np.full((n, services), 0.5),
+            backlog=np.zeros((n, services)),
+            degraded=np.asarray(degraded, dtype=bool),
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_degraded_node_sheds_all_load(self, policy):
+        topology = _topology(num_nodes=4, regions=("r0",))
+        balancer = make_balancer(policy, topology, seed=3)
+        demand = np.array([[400.0, 800.0]])
+        loads = self._loads_with_degraded(4, [True, False, False, False])
+        rates = balancer.assign(1, demand, loads)
+        np.testing.assert_allclose(rates[0], 0.0, atol=1e-12)
+        np.testing.assert_allclose(rates.sum(axis=0), demand[0], atol=1e-9)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_single_live_node_absorbs_region(self, policy):
+        topology = _topology(num_nodes=3, regions=("r0",))
+        balancer = make_balancer(policy, topology, seed=3)
+        demand = np.array([[300.0]])
+        loads = self._loads_with_degraded(3, [True, False, True], services=1)
+        rates = balancer.assign(1, demand, loads)
+        np.testing.assert_allclose(rates[1, 0], 300.0, atol=1e-9)
+        np.testing.assert_allclose(rates[[0, 2], 0], 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_degraded_keeps_conservation(self, policy):
+        # Nowhere to shed to: shares must be kept rather than zeroed.
+        topology = _topology(num_nodes=4, regions=("r0",))
+        balancer = make_balancer(policy, topology, seed=3)
+        demand = np.array([[400.0, 100.0]])
+        loads = self._loads_with_degraded(4, [True] * 4)
+        rates = balancer.assign(1, demand, loads)
+        assert np.isfinite(rates).all()
+        np.testing.assert_allclose(rates.sum(axis=0), demand[0], atol=1e-9)
+
+    def test_uniform_fallback_when_live_shares_collapse(self):
+        # A column whose live shares are all zero falls back to a uniform
+        # split over live nodes.
+        from repro.cluster.balancer import _shed_degraded
+
+        shares = np.array([[1.0], [0.0], [0.0]])
+        shed = _shed_degraded(shares, np.array([True, False, False]))
+        np.testing.assert_allclose(shed[:, 0], [0.0, 0.5, 0.5])
+
+
 class TestInterface:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -148,6 +148,63 @@ class TestDemand:
             np.testing.assert_array_equal(a, b)
 
 
+class TestResumeAcrossFlashCrowd:
+    """Regression: resume landing inside a flash-crowd window must not drift.
+
+    The flash_crowd preset spikes the first service over t=100..160; a
+    checkpoint taken mid-flash used to lose the spec identity, so a
+    resume with a subtly different spec silently produced different
+    demand. The fingerprint in the checkpoint pins both.
+    """
+
+    def test_mid_flash_resume_is_bit_identical(self):
+        spec = make_traffic_spec("flash_crowd", SERVICES)
+        model = _model(spec, seed=3)
+        for t in range(110):                      # stop inside 100..160
+            model.demand(t)
+        saved = model.state_dict()
+        ahead = [model.demand(t) for t in range(110, 170)]  # spans the edge
+        fresh = _model(spec, seed=99)
+        fresh.load_state_dict(saved)
+        resumed = [fresh.demand(t) for t in range(110, 170)]
+        for a, b in zip(ahead, resumed):
+            np.testing.assert_array_equal(a, b)
+
+    def test_spec_mismatch_rejected(self):
+        from repro.errors import CheckpointError
+
+        model = _model(make_traffic_spec("flash_crowd", SERVICES), seed=3)
+        for t in range(110):
+            model.demand(t)
+        saved = model.state_dict()
+        other = _model(make_traffic_spec("diurnal", SERVICES), seed=3)
+        with pytest.raises(CheckpointError):
+            other.load_state_dict(saved)
+
+    def test_topology_mismatch_rejected(self):
+        from repro.errors import CheckpointError
+
+        spec = make_traffic_spec("flash_crowd", SERVICES)
+        saved = _model(spec, num_nodes=6).state_dict()
+        other = _model(spec, num_nodes=8)
+        with pytest.raises(CheckpointError):
+            other.load_state_dict(saved)
+
+    def test_legacy_state_without_fingerprint_still_loads(self):
+        spec = make_traffic_spec("diurnal", SERVICES)
+        model = _model(spec, seed=3)
+        for t in range(10):
+            model.demand(t)
+        saved = model.state_dict()
+        saved.pop("spec")                         # pre-PR-8 checkpoint shape
+        ahead = [model.demand(t) for t in range(10, 20)]
+        fresh = _model(spec, seed=99)
+        fresh.load_state_dict(saved)
+        resumed = [fresh.demand(t) for t in range(10, 20)]
+        for a, b in zip(ahead, resumed):
+            np.testing.assert_array_equal(a, b)
+
+
 class TestPresets:
     def test_all_presets_build_valid_specs(self):
         for name in TRAFFIC_PRESETS:

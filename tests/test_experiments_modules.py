@@ -23,7 +23,7 @@ def test_registry_covers_every_artifact():
     expected = {
         "fig01", "tab01", "tab02", "tab03", "fig04", "fig05", "fig06",
         "fig07", "mem", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-        "fleet", "cluster",
+        "fleet", "cluster", "hier",
     }
     assert set(REGISTRY) == expected
 

@@ -20,6 +20,7 @@ from repro.cluster.traffic import (
     ServiceTraffic,
     TrafficSpec,
 )
+from repro.hier.allocator import BudgetConfig
 
 DOC = Path(__file__).resolve().parent.parent / "docs" / "fleet.md"
 
@@ -28,6 +29,7 @@ SPEC_CLASSES = {
     "FlashCrowd": FlashCrowd,
     "RegionalShift": RegionalShift,
     "TrafficSpec": TrafficSpec,
+    "BudgetConfig": BudgetConfig,
 }
 
 _SECTION = re.compile(r"^## (.+?)\s*$")
@@ -131,11 +133,22 @@ def test_doc_has_scaling_guidance():
     )
 
 
+def test_doc_has_hierarchical_control_section():
+    sections, _, _ = parse_doc(DOC.read_text())
+    assert "Hierarchical control" in sections, (
+        "docs/fleet.md is missing the hierarchical-control section"
+    )
+    text = DOC.read_text()
+    # The section must cover the three things PR-8 promised to document.
+    for needle in ("budget_assign", "node_provisioned", "vector engine"):
+        assert needle in text, f"docs/fleet.md hier section never mentions {needle!r}"
+
+
 def test_parser_actually_found_tables():
     # Guard against the parser silently matching nothing (which would make
     # the diff tests vacuous if the doc layout changed).
     _, rows, class_fields = parse_doc(DOC.read_text())
     assert len(rows.get("Balancer policies", [])) >= 4
     assert len(rows.get("Traffic presets", [])) >= 4
-    assert len(class_fields) == 4
+    assert len(class_fields) == 5
     assert all(fields for fields in class_fields.values())

@@ -47,7 +47,9 @@ def test_losses_nonnegative_and_zero_iff_equal(pred, target):
     for fn in (mse_loss, huber_loss):
         loss, grad = fn(p, t)
         assert loss >= 0.0
-        if np.allclose(p, t):
+        # Exact equality: allclose() admits tiny nonzero residuals (e.g.
+        # pred 1e-8 vs target 0) whose gradients are legitimately nonzero.
+        if np.array_equal(p, t):
             assert loss == pytest.approx(0.0)
             assert np.allclose(grad, 0.0)
 

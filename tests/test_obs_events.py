@@ -54,6 +54,14 @@ SAMPLE_PAYLOADS = {
         },
         qos_guarantee=0.75, power_w=220.0, true_power_w=218.0, energy_j=5000.0,
     ),
+    "budget_assign": dict(
+        level=0.65, tilt=0.125, mean_budget_w=60.0, min_budget_w=45.0,
+        max_budget_w=80.0, period=10, reward=0.4,
+    ),
+    "node_provisioned": dict(
+        source="runs/fleet/run.ckpt.npz", services=["masstree"],
+        restart_epsilon_at=0,
+    ),
 }
 
 

@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-robust test-fleet test-hier trace-e2e bench bench-smoke docs-check
+.PHONY: test test-robust test-fleet test-hier trace-e2e bench bench-smoke docs-check profile-cluster
 
 ## Tier-1: the full unit/property/integration suite (excludes -m slow).
 ## Includes tests/test_repo_hygiene.py, which fails if bytecode, caches,
@@ -28,7 +28,8 @@ trace-e2e:
 ## balancer invariants, cluster environment + experiment, and the
 ## docs/fleet.md schema diff.
 test-fleet:
-	$(PYTEST) -q tests/test_engine_vector.py tests/test_cluster_traffic.py \
+	$(PYTEST) -q tests/test_engine_vector.py tests/test_engine_fleet_array.py \
+		tests/test_engine_sharded.py tests/test_cluster_traffic.py \
 		tests/test_cluster_balancer.py tests/test_cluster_environment.py \
 		tests/test_fleet_doc.py
 
@@ -53,3 +54,25 @@ bench:
 ## at 1/2/4 agents; appends measured speedups to BENCH_perf_smoke.json.
 bench-smoke:
 	$(PYTEST) benchmarks/test_perf_smoke.py -q -s
+
+## Profile the cluster hot path: cProfile over a 256-node fleet run,
+## top 25 functions by cumulative time. Shows where a cluster tick goes
+## (fused node step vs control plane vs agent train).
+profile-cluster:
+	PYTHONPATH=src $(PYTHON) -c "\
+	import cProfile, pstats; \
+	import numpy as np; \
+	from repro.cluster.environment import ClusterEnvironment; \
+	from repro.core.config import TwigConfig; \
+	from repro.engine.fleet import FleetTwig; \
+	from repro.engine.rollout import run_fleet; \
+	from repro.services.profiles import get_profile; \
+	services = ['masstree', 'xapian', 'moses', 'img-dnn']; \
+	venv = ClusterEnvironment.from_services(services, num_nodes=256, seed=7, balancer='least_loaded'); \
+	manager = FleetTwig([get_profile(s) for s in services], TwigConfig.fast(epsilon_mid_steps=20, epsilon_final_steps=40), np.random.default_rng(8), num_envs=256); \
+	manager.index_tag = 'node'; \
+	profiler = cProfile.Profile(); \
+	profiler.enable(); \
+	run_fleet(manager, venv, 30); \
+	profiler.disable(); \
+	pstats.Stats(profiler).sort_stats('cumulative').print_stats(25)"

@@ -447,7 +447,7 @@ def test_experiment_suite_throughput(tmp_path):
 
 
 def test_cluster_step(tmp_path):
-    """Cluster-environment step throughput at 64 and 256 nodes.
+    """Cluster-environment step throughput at 64, 256 and 1024 nodes.
 
     Measures one fused traffic -> balancer -> (node x service) physics
     step of ``ClusterEnvironment`` with the paper's 4-service colocation
@@ -461,7 +461,7 @@ def test_cluster_step(tmp_path):
 
     services = ["masstree", "xapian", "moses", "img-dnn"]
     results = {}
-    for num_nodes, rounds in {64: 20, 256: 8}.items():
+    for num_nodes, rounds in {64: 20, 256: 8, 1024: 3}.items():
         venv = ClusterEnvironment.from_services(
             services, num_nodes=num_nodes, seed=7,
             traffic="diurnal", balancer="power_of_two",
@@ -492,6 +492,73 @@ def test_cluster_step(tmp_path):
     # The bar from the fleet layer's design goal: a 256-node cluster tick
     # stays well inside one simulated control interval (1 s).
     assert results["nodes_256"]["step_ms"] < 1000.0, results
+
+
+def test_cluster_step_shard(tmp_path):
+    """Sharded multi-core stepping vs the in-process vector engine.
+
+    Same 1024-node substrate as ``test_cluster_step`` but stepped through
+    ``ShardedClusterEnvironment`` with 4 worker processes. Records the
+    measured speedup over the serial vector engine plus the worker and
+    CPU counts; like the parallel-runner smoke, the speedup is recorded
+    rather than asserted — on a 1-CPU container the barrier and IPC
+    overhead make workers a net loss, and the number only becomes a
+    claim on a machine with spare cores (trajectory bit-identity is the
+    asserted contract, in ``tests/test_engine_sharded.py``).
+    """
+    from repro.cluster import ClusterEnvironment
+    from repro.core.actions import Allocation
+    from repro.core.mapper import Mapper
+    from repro.engine.sharded import ShardedClusterEnvironment
+
+    services = ["masstree", "xapian", "moses", "img-dnn"]
+    num_nodes, workers, rounds = 1024, 4, 3
+    timings = {}
+    for engine in ("vector", "shard"):
+        if engine == "shard":
+            venv = ShardedClusterEnvironment.from_services(
+                services, num_nodes=num_nodes, seed=7,
+                traffic="diurnal", balancer="power_of_two", workers=workers,
+            )
+        else:
+            venv = ClusterEnvironment.from_services(
+                services, num_nodes=num_nodes, seed=7,
+                traffic="diurnal", balancer="power_of_two",
+            )
+        try:
+            mapper = Mapper(venv.spec, socket_index=venv.config.socket_index)
+            top = len(venv.spec.dvfs) - 1
+            assignment = mapper.map(
+                {name: Allocation(num_cores=4, freq_index=top) for name in services}
+            )
+            assignments = [assignment] * num_nodes
+            for _ in range(2):
+                venv.step(assignments)
+            timings[engine] = _best_block_s(
+                lambda: venv.step(assignments), rounds
+            )
+        finally:
+            venv.close()
+    speedup = timings["vector"] / timings["shard"]
+    cpus = len(os.sched_getaffinity(0))
+    steps_per_s = 1.0 / timings["shard"]
+    results = {
+        "nodes": num_nodes,
+        "services": len(services),
+        "workers": workers,
+        "cpus": cpus,
+        "rounds": rounds,
+        "vector_step_ms": round(timings["vector"] * 1e3, 3),
+        "shard_step_ms": round(timings["shard"] * 1e3, 3),
+        "shard_node_steps_per_s": round(steps_per_s * num_nodes, 1),
+        "speedup": round(speedup, 2),
+    }
+    print(
+        f"\ncluster shard step ({num_nodes} nodes, {workers} workers, "
+        f"{cpus} cpus): vector {timings['vector'] * 1e3:.1f}ms -> shard "
+        f"{timings['shard'] * 1e3:.1f}ms/step ({speedup:.2f}x)"
+    )
+    _record("cluster_step_shard", results)
 
 
 def test_hier_step(tmp_path):

@@ -112,7 +112,28 @@ class LoadBalancer:
             raise ConfigurationError("demand must be finite and non-negative")
         pressure = loads.pressure() if loads is not None else None
         degraded = loads.degraded_mask() if loads is not None else None
-        rates = np.zeros((N, demand.shape[1]))
+        S = demand.shape[1]
+        if N % R == 0:
+            # Batch fast path: one (R, nodes-per-region) share matrix for
+            # every region at once, bit-identical to the per-region loop
+            # (pinned in tests/test_cluster_balancer.py). Policies without
+            # a batch implementation return None and take the loop below.
+            shares = self._shares_batch(t, demand, pressure)
+            if shares is not None:
+                m = N // R
+                shares3 = np.broadcast_to(shares[:, :, None], (R, m, S)).copy()
+                if degraded is not None:
+                    # Region r's nodes are the stride-R columns of the
+                    # node axis; a contiguous transpose keeps the shed
+                    # sums bitwise equal to the gathered per-region sums.
+                    by_region = np.ascontiguousarray(degraded.reshape(m, R).T)
+                    shares3 = _shed_degraded_batch(shares3, by_region)
+                rates = np.empty((N, S))
+                rates.reshape(m, R, S)[:] = (
+                    shares3 * demand[:, None, :]
+                ).transpose(1, 0, 2)
+                return rates
+        rates = np.zeros((N, S))
         for r in range(R):
             nodes = self.topology.region_nodes(r)
             node_pressure = pressure[nodes] if pressure is not None else None
@@ -132,6 +153,20 @@ class LoadBalancer:
     ) -> np.ndarray:
         """Per-node share matrix ``(n, S)``; each column must sum to 1."""
         raise NotImplementedError
+
+    def _shares_batch(
+        self, t: int, demand: np.ndarray, pressure: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """All regions' shares at once as ``(R, N // R)``, or ``None``.
+
+        Only called when every region hosts the same node count (``N``
+        divisible by ``R``); column order within a region is ascending
+        node index, exactly like :meth:`ClusterTopology.region_nodes`.
+        Implementations must be bitwise identical to R :meth:`_shares`
+        calls; policies with sequential per-region state (cursors, RNG
+        draws) keep the loop and return the default ``None``.
+        """
+        return None
 
     def state_dict(self) -> Dict[str, Any]:
         """Mutable policy state (cursors, RNG); empty for stateless policies."""
@@ -158,12 +193,34 @@ def _shed_degraded(shares: np.ndarray, degraded: np.ndarray) -> np.ndarray:
     live = ~degraded
     column_total = shed.sum(axis=0)
     uniform_live = live.astype(np.float64) / live.sum()
-    for s in range(shed.shape[1]):
-        if column_total[s] > 0.0:
-            shed[:, s] /= column_total[s]
-        else:
-            shed[:, s] = uniform_live
-    return shed
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scaled = shed / column_total[None, :]
+    return np.where(column_total[None, :] > 0.0, scaled, uniform_live[:, None])
+
+
+def _shed_degraded_batch(shares: np.ndarray, degraded: np.ndarray) -> np.ndarray:
+    """:func:`_shed_degraded` over all regions at once.
+
+    ``shares`` is ``(R, m, S)`` (m nodes per region), ``degraded`` is
+    ``(R, m)``. Regions where no node — or every node — is degraded keep
+    their original shares, exactly like the per-region helper.
+    """
+    touched = degraded.any(axis=1) & ~degraded.all(axis=1)
+    if not touched.any():
+        return shares
+    shed = shares.copy()
+    shed[degraded] = 0.0
+    live = ~degraded
+    column_total = shed.sum(axis=1)  # (R, S)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # All-degraded regions divide 0/0 here; the final where() masks
+        # those rows out (touched excludes them), so the NaNs never leak.
+        uniform_live = live.astype(np.float64) / live.sum(axis=1)[:, None]
+        scaled = shed / column_total[:, None, :]
+    shed = np.where(
+        column_total[:, None, :] > 0.0, scaled, uniform_live[:, :, None]
+    )
+    return np.where(touched[:, None, None], shed, shares)
 
 
 class RoundRobinBalancer(LoadBalancer):
@@ -231,6 +288,23 @@ class LeastLoadedBalancer(LoadBalancer):
         else:
             shares = headroom / total
         return np.broadcast_to(shares[:, None], (n, len(demand))).copy()
+
+    def _shares_batch(self, t, demand, pressure):
+        """All regions at once: headroom is elementwise per node and the
+        per-region totals come from a contiguous transpose, so every
+        value is bitwise equal to the per-region :meth:`_shares` path."""
+        R, N = self.topology.num_regions, self.topology.num_nodes
+        m = N // R
+        if pressure is None:
+            headroom = np.ones(N)
+        else:
+            headroom = np.maximum(1.0 - pressure, self.floor)
+        by_region = np.ascontiguousarray(headroom.reshape(m, R).T)  # (R, m)
+        totals = by_region.sum(axis=1)
+        good = np.isfinite(totals) & (totals > 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scaled = by_region / totals[:, None]
+        return np.where(good[:, None], scaled, np.full(m, 1.0 / m))
 
 
 class PowerOfTwoBalancer(LoadBalancer):
@@ -312,20 +386,30 @@ class ShardedByKeyBalancer(LoadBalancer):
         key = (region, n, len(demand))
         cached = self._cache.get(key)
         if cached is None:
+            S = len(demand)
             shards = np.arange(self.num_shards, dtype=np.uint64)
-            cached = np.zeros((n, len(demand)))
-            for s in range(len(demand)):
-                # Mix the shard id with the region, service, and seed so
-                # every (region, service) pair gets its own placement.
-                salt = (
+            # Mix the shard id with the region, service, and seed so
+            # every (region, service) pair gets its own placement. All
+            # services hash in one pass; one flat bincount (bin
+            # ``s * n + node``) replaces the per-service loop and
+            # accumulates the same weights in the same order.
+            with np.errstate(over="ignore"):
+                salts = (
                     np.uint64(region) * np.uint64(0x100000001B3)
-                    + np.uint64(s) * np.uint64(0x1000193)
+                    + np.arange(S, dtype=np.uint64) * np.uint64(0x1000193)
                     + np.uint64(self.seed & 0xFFFFFFFF)
                 )
-                nodes = (_mix_hash(shards + salt) % np.uint64(n)).astype(np.int64)
-                cached[:, s] = np.bincount(
-                    nodes, weights=self._shard_weights, minlength=n
-                )
+                salted = shards[None, :] + salts[:, None]
+            nodes = (_mix_hash(salted) % np.uint64(n)).astype(np.int64)
+            flat = (nodes + np.arange(S, dtype=np.int64)[:, None] * n).ravel()
+            weights = np.broadcast_to(
+                self._shard_weights, (S, self.num_shards)
+            ).ravel()
+            cached = np.ascontiguousarray(
+                np.bincount(flat, weights=weights, minlength=S * n)
+                .reshape(S, n)
+                .T
+            )
             self._cache[key] = cached
         return cached
 

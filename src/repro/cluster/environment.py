@@ -31,6 +31,7 @@ feedback under a ``cluster`` subtree alongside the per-node state, so
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -178,13 +179,28 @@ class ClusterEnvironment(VectorEnvironment):
     def step(
         self, assignments: Sequence[Dict[str, CoreAssignment]]
     ) -> List[StepResult]:
-        """Balance this interval's fleet demand, then step every node."""
+        """Balance this interval's fleet demand, then step every node.
+
+        When a timing registry is attached (traced runs), the cluster
+        layer reports two sub-sections of ``env.step``:
+        ``cluster.control`` (traffic model + balancer) and
+        ``cluster.step`` (the fused node simulation) — see
+        ``docs/observability.md``.
+        """
+        timings = self.timings
+        t0 = perf_counter() if timings is not None else 0.0
         demand = self.traffic.demand(self.time)
         self._pending_rates = self.balancer.assign(self.time, demand, self._last_loads)
+        if timings is not None:
+            timings.get("cluster.control").add(perf_counter() - t0)
+            t0 = perf_counter()
         try:
-            return super().step(assignments)
+            batch = super().step(assignments)
         finally:
             self._pending_rates = None
+        if timings is not None:
+            timings.get("cluster.step").add(perf_counter() - t0)
+        return batch
 
     def _gather_arrivals(self) -> np.ndarray:
         # Arrival rates come from the balancer, not the per-node

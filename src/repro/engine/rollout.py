@@ -71,8 +71,8 @@ def run_fleet(
     obs = obs if obs is not None else current()
     timings = None
     if obs is not None:
-        for env in venv.envs:
-            env.trace = obs.sink
+        venv.set_trace_sink(obs.sink)
+        venv.timings = obs.timings
         timings = obs.timings
         manager.attach_obs(obs.sink, timings)
         if checkpoint_every is None:
@@ -88,7 +88,7 @@ def run_fleet(
     ckpt_path = (
         Path(checkpoint_dir) / RUN_CKPT_NAME if checkpoint_dir is not None else None
     )
-    sink = venv.envs[0].trace
+    sink = venv.trace_sink
     first_t = 0
     if resume_from is not None:
         resume_path = Path(resume_from)
@@ -173,18 +173,41 @@ def run_fleet(
             step_timing.add(time.perf_counter() - t0)
         else:
             results = venv.step(assignments)
-        for e, result in enumerate(results):
-            trace = traces[e]
-            for name in venv.service_names:
-                observation = result.observations[name]
-                service_trace = trace.services[name]
-                service_trace.p99_ms.append(observation.p99_ms)
-                service_trace.arrival_rps.append(observation.interval.arrival_rate)
-                service_trace.cores.append(observation.interval.cores)
-                service_trace.frequency_ghz.append(observation.interval.frequency_ghz)
-            trace.power_w.append(result.socket_power_w)
-            trace.true_power_w.append(result.true_power_w)
-            trace.membw_utilization.append(result.membw_utilization)
+        arrays = getattr(results, "arrays", None)
+        if arrays is not None:
+            # Array fast path: append from the fused matrices without
+            # materialising N StepResult objects. Values are identical —
+            # the objects are built from these same arrays.
+            p99 = arrays["p99"]
+            arrival = arrays["arrivals"]
+            cores = arrays["cores"]
+            freq = arrays["frequency_ghz"]
+            power = arrays["power_w"]
+            true_power = arrays["true_power_w"]
+            membw = arrays["membw_utilization"]
+            for e, trace in enumerate(traces):
+                for i, name in enumerate(venv.service_names):
+                    service_trace = trace.services[name]
+                    service_trace.p99_ms.append(float(p99[e, i]))
+                    service_trace.arrival_rps.append(float(arrival[e, i]))
+                    service_trace.cores.append(float(cores[e, i]))
+                    service_trace.frequency_ghz.append(float(freq[e, i]))
+                trace.power_w.append(float(power[e]))
+                trace.true_power_w.append(float(true_power[e]))
+                trace.membw_utilization.append(float(membw[e]))
+        else:
+            for e, result in enumerate(results):
+                trace = traces[e]
+                for name in venv.service_names:
+                    observation = result.observations[name]
+                    service_trace = trace.services[name]
+                    service_trace.p99_ms.append(observation.p99_ms)
+                    service_trace.arrival_rps.append(observation.interval.arrival_rate)
+                    service_trace.cores.append(observation.interval.cores)
+                    service_trace.frequency_ghz.append(observation.interval.frequency_ghz)
+                trace.power_w.append(result.socket_power_w)
+                trace.true_power_w.append(result.true_power_w)
+                trace.membw_utilization.append(result.membw_utilization)
         if update_timing is not None:
             t0 = time.perf_counter()
             assignments = manager.update_batch(results)
@@ -214,8 +237,8 @@ def run_fleet(
                     **{index_tag: e},
                 )
             )
-    for e, env in enumerate(venv.envs):
-        traces[e].migrations = dict(env.machine.migration_counts)
+    for e, counts in enumerate(venv.migration_counts()):
+        traces[e].migrations = counts
     return traces
 
 

@@ -83,6 +83,105 @@ _COUNTER_ORDER = (
 )
 
 
+class StepBatch(Sequence):
+    """One fused step's results: arrays now, ``StepResult`` objects on demand.
+
+    :meth:`VectorEnvironment.step` computes the whole interval as
+    ``(E, S)`` arrays; building E :class:`StepResult` objects (with their
+    per-service :class:`IntervalResult`/pmcs dicts) used to dominate the
+    large-fleet step cost even though array-aware consumers (the rollout
+    loop, :class:`~repro.engine.fleet.FleetTwig`, the cluster balancer
+    feedback) never look at them. A ``StepBatch`` carries the arrays in
+    :attr:`arrays` and materialises ``results[e]`` lazily — the
+    materialised object is field-for-field identical to what the eager
+    scatter built, so object-oriented consumers (the scalar-equivalence
+    tests, rule fleets) work unchanged.
+
+    Environments with active faults or an enabled trace sink are
+    materialised eagerly inside ``step`` (faults consume RNG and mutate
+    the observation objects); their cached results are returned as-is.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        interval_s: float,
+        arrays: Dict[str, np.ndarray],
+        envs: Optional[Sequence[ColocationEnvironment]] = None,
+    ):
+        self.names = list(names)
+        self.interval_s = interval_s
+        #: The interval's internal matrices; see ``VectorEnvironment.step``.
+        self.arrays = arrays
+        self._envs = envs
+        self._results: List[Optional[StepResult]] = [None] * len(arrays["time"])
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __getitem__(self, index: int) -> StepResult:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        result = self._results[index]
+        if result is None:
+            result = self._materialize(index)
+            self._results[index] = result
+        return result
+
+    def set_result(self, index: int, result: StepResult) -> None:
+        """Install an eagerly built (possibly faulted) result."""
+        self._results[index] = result
+
+    def build_observations(self, e: int) -> Dict[str, ServiceObservation]:
+        """Per-service observation objects for env ``e`` from the arrays."""
+        a = self.arrays
+        observations: Dict[str, ServiceObservation] = {}
+        for i, name in enumerate(self.names):
+            interval = IntervalResult(
+                service=name,
+                interval_s=self.interval_s,
+                arrival_rate=float(a["arrivals"][e, i]),
+                throughput_rps=float(a["throughput"][e, i]),
+                p99_ms=float(a["p99"][e, i]),
+                mean_ms=float(a["mean_ms"][e, i]),
+                utilization=float(a["utilization"][e, i]),
+                capacity_rps=float(a["capacity"][e, i]),
+                backlog=float(a["backlog"][e, i]),
+                cores=float(a["cores"][e, i]),
+                frequency_ghz=float(a["frequency_ghz"][e, i]),
+                inflation=float(a["inflation"][e, i]),
+                miss_inflation=float(a["miss_inflation"][e, i]),
+                membw_gbps=float(a["membw_gbps"][e, i]),
+                busy_core_seconds=float(a["busy_core_seconds"][e, i]),
+                instructions=float(a["instructions"][e, i]),
+                qos_target_ms=float(a["qos_target"][i]),
+            )
+            pmcs = {
+                counter: float(a["counters"][e, i, c])
+                for c, counter in enumerate(_COUNTER_ORDER)
+            }
+            observations[name] = ServiceObservation(interval=interval, pmcs=pmcs)
+        return observations
+
+    def _materialize(self, e: int) -> StepResult:
+        a = self.arrays
+        result = StepResult(
+            time=int(a["time"][e]),
+            observations=self.build_observations(e),
+            socket_power_w=float(a["power_w"][e]),
+            true_power_w=float(a["true_power_w"][e]),
+            membw_utilization=float(a["membw_utilization"][e]),
+            energy_j=float(a["energy_j"][e]),
+        )
+        if self._envs is not None:
+            self._envs[e].last_result = result
+        return result
+
+
 class VectorEnvironment:
     """N homogeneous colocation environments stepped in lock-step.
 
@@ -139,6 +238,68 @@ class VectorEnvironment:
         )
         self._core_ids = base.socket_core_ids
         self._column = {cid: j for j, cid in enumerate(self._core_ids)}
+
+        #: Optional :class:`~repro.obs.timing.TimingRegistry` wired in by
+        #: the rollout loop; subclasses report timing sub-sections here.
+        self.timings = None
+        # Installed-assignment cache: per-env content key of the last
+        # applied assignment plus the machine-state arrays it produced.
+        # Machine state only changes through Machine.apply (faults touch
+        # observations/backlogs, never cores), so an unchanged key means
+        # validate/apply/gather can all be skipped for that env.
+        E, S, C = self.num_envs, len(self.names), len(self._core_ids)
+        self._applied_keys: List[Optional[tuple]] = [None] * E
+        self._m_membership = np.zeros((E, S, C), dtype=bool)
+        self._m_online = np.zeros((E, C), dtype=bool)
+        self._m_freq_index = np.zeros((E, C), dtype=np.int64)
+        self._m_n_cores = np.zeros((E, S))
+        self._m_freq = np.zeros((E, S))
+        self._m_llc_quota = np.zeros((E, S))
+
+    def _assignment_key(self, assignment: Mapping[str, CoreAssignment]) -> Optional[tuple]:
+        """Content key of an assignment, or ``None`` if it needs the full
+        validate path (missing services, unexpected keys)."""
+        if len(assignment) != len(self.names):
+            return None
+        try:
+            return tuple(
+                (name, a.cores, a.freq_index, a.llc_ways)
+                for name, a in ((n, assignment[n]) for n in self.names)
+            )
+        except KeyError:
+            return None
+
+    def _install_assignments(
+        self, assignments: Sequence[Mapping[str, CoreAssignment]]
+    ) -> None:
+        """Validate/apply changed assignments and refresh their cached
+        machine-state rows; unchanged envs are skipped entirely."""
+        mb_per_way = self.spec.socket.mb_per_way
+        for e, (env, assignment) in enumerate(zip(self.envs, assignments)):
+            key = self._assignment_key(assignment)
+            if key is not None and key == self._applied_keys[e]:
+                continue
+            if set(assignment) != set(env.services):
+                raise AllocationError(
+                    f"assignments for {sorted(assignment)} but services are "
+                    f"{sorted(env.services)}"
+                )
+            env._check_socket(assignment)
+            env.machine.apply(assignment)
+            self._applied_keys[e] = key
+            membership = self._m_membership[e]
+            membership[:] = False
+            for j, cid in enumerate(self._core_ids):
+                core = env.machine.cores[cid]
+                self._m_online[e, j] = core.online
+                self._m_freq_index[e, j] = core.freq_index
+            for i, name in enumerate(self.names):
+                cores = env.machine.cores_of(name)
+                self._m_n_cores[e, i] = len(cores)
+                for core in cores:
+                    membership[i, self._column[core.core_id]] = True
+                self._m_freq[e, i] = env.machine.frequency_of(name)
+                self._m_llc_quota[e, i] = assignment[name].llc_ways * mb_per_way
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -220,12 +381,29 @@ class VectorEnvironment:
         """The :class:`ServiceProfile` for ``name`` (same in every env)."""
         return self.envs[0].profile_of(name)
 
+    @property
+    def trace_sink(self):
+        """The trace sink wrapped env 0 emits into."""
+        return self.envs[0].trace
+
+    def set_trace_sink(self, sink) -> None:
+        """Point every wrapped environment at ``sink``."""
+        for env in self.envs:
+            env.trace = sink
+
+    def migration_counts(self) -> List[Dict[str, int]]:
+        """Per-env service migration counters (for final run traces)."""
+        return [dict(env.machine.migration_counts) for env in self.envs]
+
+    def close(self) -> None:
+        """Release engine resources (no-op for the in-process engine)."""
+
     # ------------------------------------------------------------------ #
     # stepping
     # ------------------------------------------------------------------ #
     def step(
         self, assignments: Sequence[Mapping[str, CoreAssignment]]
-    ) -> List[StepResult]:
+    ) -> StepBatch:
         """Install per-env assignments and advance every env one interval."""
         if len(assignments) != self.num_envs:
             raise ConfigurationError(
@@ -235,40 +413,23 @@ class VectorEnvironment:
         E, S, C = self.num_envs, len(self.names), len(self._core_ids)
         interval = self.config.interval_s
 
-        # Control plane: validate and install placements per environment.
-        for env, assignment in zip(self.envs, assignments):
-            if set(assignment) != set(env.services):
-                raise AllocationError(
-                    f"assignments for {sorted(assignment)} but services are "
-                    f"{sorted(env.services)}"
-                )
-            env._check_socket(assignment)
-            env.machine.apply(assignment)
+        # Control plane: validate and install placements per environment
+        # (cached — unchanged assignments skip apply + gather entirely).
+        self._install_assignments(assignments)
+        membership = self._m_membership
+        online = self._m_online
+        freq_index = self._m_freq_index
+        n_cores = self._m_n_cores
+        freq = self._m_freq
+        llc_quota = self._m_llc_quota
 
         arrivals = self._gather_arrivals()
 
-        # Gather the installed machine state into stacked arrays.
-        membership = np.zeros((E, S, C), dtype=bool)
-        online = np.zeros((E, C), dtype=bool)
-        freq_index = np.zeros((E, C), dtype=np.int64)
-        n_cores = np.zeros((E, S))
-        freq = np.empty((E, S))
         backlog = np.empty((E, S))
-        llc_quota = np.empty((E, S))
-        mb_per_way = self.spec.socket.mb_per_way
         for e, env in enumerate(self.envs):
-            for j, cid in enumerate(self._core_ids):
-                core = env.machine.cores[cid]
-                online[e, j] = core.online
-                freq_index[e, j] = core.freq_index
+            services = env.services
             for i, name in enumerate(self.names):
-                cores = env.machine.cores_of(name)
-                n_cores[e, i] = len(cores)
-                for core in cores:
-                    membership[e, i, self._column[core.core_id]] = True
-                freq[e, i] = env.machine.frequency_of(name)
-                backlog[e, i] = env.services[name].backlog
-                llc_quota[e, i] = assignments[e][name].llc_ways * mb_per_way
+                backlog[e, i] = services[name].backlog
 
         # --- effective capacities (demand-aware timesharing) ------------ #
         freq_factor = self._alpha * (self.spec.dvfs.max_ghz / freq) + (1.0 - self._alpha)
@@ -423,69 +584,88 @@ class VectorEnvironment:
         rapl_noise = 1.0 + self.config.rapl_noise_std * z[:, -1]
         readings = np.maximum(true_power * rapl_noise, 0.0)
 
-        # --- scatter results back into the wrapped environments ----------- #
-        results: List[StepResult] = []
+        # --- scatter state back into the wrapped environments -------------- #
+        # Only the cheap per-env state sync (backlogs, RAPL, clocks) runs
+        # eagerly; result-object construction is deferred to the
+        # StepBatch and only forced for envs with active faults (which
+        # consume RNG and mutate observations) or an enabled trace sink.
         socket = self.config.socket_index
+        times = np.empty(E, dtype=np.int64)
+        energy = np.empty(E)
         for e, env in enumerate(self.envs):
-            observations: Dict[str, ServiceObservation] = {}
+            services = env.services
             for i, name in enumerate(self.names):
-                profile = env.services[name].profile
-                result = IntervalResult(
-                    service=name,
-                    interval_s=interval,
-                    arrival_rate=float(arrivals[e, i]),
-                    throughput_rps=float(throughput[e, i]),
-                    p99_ms=float(p99[e, i]),
-                    mean_ms=float(mean_ms[e, i]),
-                    utilization=float(utilization[e, i]),
-                    capacity_rps=float(capacity[e, i]),
-                    backlog=float(new_backlog[e, i]),
-                    cores=float(capacities[e, i]),
-                    frequency_ghz=float(freq[e, i]),
-                    inflation=float(inflation[e, i]),
-                    miss_inflation=float(miss_inflation[e, i]),
-                    membw_gbps=float(membw_out[e, i]),
-                    busy_core_seconds=float(busy[e, i]),
-                    instructions=float(instructions[e, i]),
-                    qos_target_ms=float(self._qos_target[i]),
-                )
-                pmcs = {
-                    counter: float(counters[e, i, c])
-                    for c, counter in enumerate(_COUNTER_ORDER)
-                }
-                observations[name] = ServiceObservation(interval=result, pmcs=pmcs)
-                env.services[name].backlog = float(new_backlog[e, i])
-            env.rapl.energy_j += float(readings[e]) * interval
-            env.rapl.last_reading_w = {socket: float(readings[e])}
+                services[name].backlog = float(new_backlog[e, i])
+            reading = float(readings[e])
+            env.rapl.energy_j += reading * interval
+            env.rapl.last_reading_w = {socket: reading}
             env.time += 1
+            times[e] = env.time
+            energy[e] = env.rapl.energy_j
+
+        arrays = {
+            "arrivals": arrivals,
+            "throughput": throughput,
+            "p99": p99,
+            "mean_ms": mean_ms,
+            "utilization": utilization,
+            "capacity": capacity,
+            "backlog": new_backlog,
+            "cores": capacities,
+            "frequency_ghz": freq,
+            "inflation": inflation,
+            "miss_inflation": miss_inflation,
+            "membw_gbps": membw_out,
+            "busy_core_seconds": busy,
+            "instructions": instructions,
+            "counters": counters,
+            "qos_target": self._qos_target,
+            "power_w": readings,
+            "true_power_w": true_power,
+            "membw_utilization": bw_util,
+            "energy_j": energy,
+            "time": times,
+        }
+        batch = StepBatch(self.names, interval, arrays, envs=self.envs)
+        for e, env in enumerate(self.envs):
+            pending = (
+                env.faults is not None and env.faults.active_at(env.time)
+            )
+            if not pending and not env.trace.enabled:
+                continue
             applied = []
-            if env.faults is not None:
+            if pending:
                 # Same ordering as the scalar path: injected after
                 # power/RAPL, so sensor faults corrupt what the manager
                 # *sees*, not what the machine drew. The per-env injector
                 # RNG is consumed here, draw-for-draw with the oracle.
+                observations = batch.build_observations(e)
                 observations, applied = env.faults.apply(
                     env.time, observations, env.services
                 )
-                if applied:
-                    # Refresh the fused arrays so downstream feedback
-                    # (_post_step, cluster NodeLoads) sees the faulted view.
-                    for i, name in enumerate(self.names):
-                        obs = observations[name]
-                        throughput[e, i] = obs.interval.throughput_rps
-                        p99[e, i] = obs.p99_ms
-                        utilization[e, i] = obs.interval.utilization
-                        new_backlog[e, i] = obs.interval.backlog
-            step_result = StepResult(
-                time=env.time,
-                observations=observations,
-                socket_power_w=float(readings[e]),
-                true_power_w=float(true_power[e]),
-                membw_utilization=float(bw_util[e]),
-                energy_j=env.rapl.energy_j,
-            )
-            env.last_result = step_result
+                # Refresh the fused arrays so downstream feedback
+                # (_post_step, cluster NodeLoads, the array control
+                # plane's monitor bank) sees the faulted view.
+                for i, name in enumerate(self.names):
+                    obs = observations[name]
+                    throughput[e, i] = obs.interval.throughput_rps
+                    p99[e, i] = obs.p99_ms
+                    utilization[e, i] = obs.interval.utilization
+                    new_backlog[e, i] = obs.interval.backlog
+                    for c, counter in enumerate(_COUNTER_ORDER):
+                        counters[e, i, c] = obs.pmcs[counter]
+                step_result = StepResult(
+                    time=env.time,
+                    observations=observations,
+                    socket_power_w=float(readings[e]),
+                    true_power_w=float(true_power[e]),
+                    membw_utilization=float(bw_util[e]),
+                    energy_j=env.rapl.energy_j,
+                )
+                env.last_result = step_result
+                batch.set_result(e, step_result)
             if env.trace.enabled:
+                step_result = batch[e]
                 for fault in applied:
                     env.trace.emit(
                         make_event(
@@ -500,21 +680,8 @@ class VectorEnvironment:
                         )
                     )
                 self._emit_step_events(env, e, step_result)
-            results.append(step_result)
-        self._post_step(
-            results,
-            {
-                "arrivals": arrivals,
-                "throughput": throughput,
-                "p99": p99,
-                "utilization": utilization,
-                "backlog": new_backlog,
-                "power_w": readings,
-                "true_power_w": true_power,
-                "membw_utilization": bw_util,
-            },
-        )
-        return results
+        self._post_step(batch, arrays)
+        return batch
 
     def _gather_arrivals(self) -> np.ndarray:
         """Arrival rates ``(E, S)`` for the interval about to be simulated.
@@ -631,6 +798,9 @@ class VectorEnvironment:
             )
         for e, env in enumerate(self.envs):
             env.load_state_dict(dict(env_trees[f"{e:04d}"]))
+        # Machine state was just replaced wholesale; drop the installed-
+        # assignment cache so the next step re-gathers everything.
+        self._applied_keys = [None] * self.num_envs
 
 
 def make_sibling_environment(

@@ -55,8 +55,13 @@ class HierConfig:
     num_nodes: int = 10
     steps: int = 200
     seed: int = 7
-    #: Only "vector" is valid: the hierarchy needs the fused lock-step path.
+    #: "vector" or "shard": the hierarchy needs the fused lock-step path
+    #: (the allocator and budget masking live inside ``update_batch``);
+    #: "shard" keeps that path in the parent and moves only the node
+    #: simulation into worker processes, so both are valid.
     engine: str = "vector"
+    #: Shard worker processes (``engine="shard"`` only).
+    workers: int = 4
     balancer: str = "least_loaded"
     traffic: str = "diurnal"
     regions: Tuple[str, ...] = ("r0", "r1")
@@ -76,12 +81,14 @@ class HierConfig:
     def __post_init__(self) -> None:
         if not self.services:
             raise ConfigurationError("need at least one service")
-        if self.engine != "vector":
+        if self.engine not in ("vector", "shard"):
             raise ConfigurationError(
-                "hierarchical control requires the vector engine (the "
-                "allocator and budget masking live in the fused lock-step "
-                f"path); got engine={self.engine!r}"
+                "hierarchical control requires a fused lock-step engine "
+                "('vector' or 'shard' — the allocator and budget masking "
+                f"live in update_batch); got engine={self.engine!r}"
             )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
         if self.num_nodes < 1:
             raise ConfigurationError(f"num_nodes must be >= 1, got {self.num_nodes}")
         if self.steps < 1:
@@ -163,7 +170,19 @@ def _twig_config(config: HierConfig) -> TwigConfig:
     )
 
 
-def _make_env(config: HierConfig) -> ClusterEnvironment:
+def _make_env(config: HierConfig):
+    if config.engine == "shard":
+        from repro.engine.sharded import ShardedClusterEnvironment
+
+        return ShardedClusterEnvironment.from_services(
+            list(config.services),
+            num_nodes=config.num_nodes,
+            seed=config.seed,
+            traffic=config.traffic,
+            balancer=config.balancer,
+            regions=config.regions,
+            workers=config.workers,
+        )
     return ClusterEnvironment.from_services(
         list(config.services),
         num_nodes=config.num_nodes,
@@ -232,7 +251,10 @@ def run(config: HierConfig = HierConfig()) -> HierResult:
         manager = _make_manager(config, variant)
         if variant == "hier" and config.provision_from is not None:
             provision_fleet(manager, config.provision_from)
-        traces = run_fleet(manager, venv, config.steps)
+        try:
+            traces = run_fleet(manager, venv, config.steps)
+        finally:
+            venv.close()
         summaries[variant] = _summarize(config, traces)
         all_traces[variant] = traces
     beats = True

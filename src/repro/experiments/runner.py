@@ -545,14 +545,16 @@ def run_experiments(
             "strict=True re-raises the first failure; combining it with "
             "retries is contradictory — pick one"
         )
-    if engine not in ("auto", "serial", "pool", "vector"):
+    if engine not in ("auto", "serial", "pool", "vector", "shard"):
         raise ConfigurationError(
-            f"engine must be auto, serial, pool, or vector, got {engine!r}"
+            f"engine must be auto, serial, pool, vector, or shard, got {engine!r}"
         )
     configs = dict(configs or {})
-    if engine == "vector":
-        # Route every experiment through the batched rollout engine: its
-        # config must expose an ``engine`` field to honour the request.
+    if engine in ("vector", "shard"):
+        # Route every experiment through the batched rollout engine
+        # (single-process vector path, or the sharded multi-process
+        # cluster path): its config must expose an ``engine`` field to
+        # honour the request.
         import dataclasses
 
         for experiment_id in experiment_ids:
@@ -562,11 +564,11 @@ def run_experiments(
                 and any(f.name == "engine" for f in dataclasses.fields(config))
             ):
                 raise ConfigurationError(
-                    f"engine='vector' requires an experiment config with an "
+                    f"engine={engine!r} requires an experiment config with an "
                     f"'engine' field; {experiment_id!r} has none "
                     "(only fleet-style experiments support the vector engine)"
                 )
-            configs[experiment_id] = dataclasses.replace(config, engine="vector")
+            configs[experiment_id] = dataclasses.replace(config, engine=engine)
     elif engine == "serial":
         # For engine-aware experiments, "serial" means the scalar oracle,
         # not merely "no process pool".

@@ -88,10 +88,31 @@ class HierFleetTwig(FleetTwig):
         self._accumulate_window(results)
         self._tick += 1
         if self._tick % self.budget_config.period == 0:
-            self._reallocate(results[0].time)
+            arrays = getattr(results, "arrays", None)
+            t = int(arrays["time"][0]) if arrays is not None else results[0].time
+            self._reallocate(t)
         return super().update_batch(results)
 
     def _accumulate_window(self, results: Sequence[StepResult]) -> None:
+        arrays = getattr(results, "arrays", None)
+        if arrays is not None:
+            # Array fast path over the StepBatch matrices. The scalar
+            # accumulators are still advanced env-by-env (Python float
+            # adds), keeping the window sums bit-identical to the
+            # object-path loop below.
+            p99 = arrays["p99"]
+            util = arrays["utilization"]
+            met = np.isfinite(p99) & (p99 <= arrays["qos_target"])
+            self._win_qos_total += met.size
+            self._win_qos_met += int(met.sum())
+            self._win_node_viol += (~met).sum(axis=1).astype(np.float64)
+            finite_util = np.where(np.isfinite(util), util, 1.0)
+            for v in arrays["power_w"].tolist():
+                self._win_power += v
+            for v in finite_util.mean(axis=1).tolist():
+                self._win_util += v
+            self._win_ticks += 1
+            return
         for e, result in enumerate(results):
             self._win_power += float(result.socket_power_w)
             utils = []
@@ -165,6 +186,99 @@ class HierFleetTwig(FleetTwig):
     # ------------------------------------------------------------------ #
     # budget plumbing (FleetTwig hooks)
     # ------------------------------------------------------------------ #
+    def _shape_reward_rows(
+        self,
+        env_rows: np.ndarray,
+        totals: np.ndarray,
+        qos_rew: np.ndarray,
+        power_rew: np.ndarray,
+        violation: np.ndarray,
+        results: Sequence[StepResult],
+    ) -> np.ndarray:
+        """Vectorized budget-overshoot penalty over all healthy rows.
+
+        One array pass replaces the per-env dict hook; a subclass that
+        overrides :meth:`_shape_rewards` again is handed back to the base
+        fleet's per-env fallback.
+        """
+        if type(self)._shape_rewards is not HierFleetTwig._shape_rewards:
+            return super()._shape_reward_rows(
+                env_rows, totals, qos_rew, power_rew, violation, results
+            )
+        if not env_rows.size:
+            return totals
+        node_power = self._node_power_rows(self._est_power[env_rows])
+        overshoot = np.maximum(
+            0.0, node_power / np.maximum(self.budgets[env_rows], 1e-9) - 1.0
+        )
+        over = overshoot > 0.0
+        if over.any():
+            penalty = self.config.reward.theta * overshoot[over]
+            totals[env_rows[over]] -= penalty[:, None]
+        return totals
+
+    def _repair_action_rows(
+        self,
+        env_rows: np.ndarray,
+        actions: np.ndarray,
+        arrival: np.ndarray,
+        results: Sequence[StepResult],
+    ) -> np.ndarray:
+        """Vectorized budget screen + lock-step greedy repair.
+
+        One :meth:`_power_for` pass screens every acting row; rows whose
+        decoded actions overshoot their budget are then repaired in
+        lock-step: each round, every still-over-budget row steps its
+        highest-power shrinkable service (DVFS down first, else shed a
+        core) — the same first-max/first-tie choice and the same
+        Equation-2 values as the scalar greedy loop in
+        :meth:`_constrain_allocations`, so the repaired actions are
+        identical. Deterministic throughout (no RNG draws). A subclass
+        that overrides :meth:`_constrain_allocations` again is handed
+        back to the base fleet's per-env fallback.
+        """
+        if type(self)._constrain_allocations is not HierFleetTwig._constrain_allocations:
+            return super()._repair_action_rows(env_rows, actions, arrival, results)
+        if not env_rows.size:
+            return actions
+        cores = actions[:, :, 0] + 1
+        freqs = actions[:, :, 1].copy()
+        arr_rows = arrival[env_rows]
+        power = self._power_for(cores, freqs, arr_rows)
+        node_power = self._node_power_rows(power)
+        budgets = self.budgets[env_rows]
+        active = np.nonzero(node_power > budgets)[0]
+        while active.size:
+            c = cores[active]
+            f = freqs[active]
+            shrinkable = (f > 0) | (c > 1)
+            has = shrinkable.any(axis=1)
+            if not has.all():
+                # Nothing left to shrink on some rows: they stop here,
+                # over budget, exactly as the scalar loop breaks.
+                active = active[has]
+                if not active.size:
+                    break
+                c = c[has]
+                f = f[has]
+                shrinkable = shrinkable[has]
+            # First max in service order, like max(key=...) over the list.
+            sel = np.argmax(np.where(shrinkable, power[active], -np.inf), axis=1)
+            r = np.arange(active.size)
+            down = f[r, sel] > 0
+            f[r[down], sel[down]] -= 1
+            c[r[~down], sel[~down]] -= 1
+            cores[active] = c
+            freqs[active] = f
+            fresh = self._power_for(c, f, arr_rows[active])
+            power[active] = fresh
+            fresh_node = self._node_power_rows(fresh)
+            node_power[active] = fresh_node
+            active = active[fresh_node > budgets[active]]
+        actions[:, :, 0] = cores - 1
+        actions[:, :, 1] = freqs
+        return actions
+
     def _shape_rewards(
         self, env_index: int, breakdowns: Dict[str, RewardBreakdown]
     ) -> Dict[str, RewardBreakdown]:

@@ -317,3 +317,145 @@ class TestInterface:
         balancer = make_balancer("round_robin", _topology())
         with pytest.raises(ConfigurationError):
             balancer.assign(0, np.full((2, 1), -1.0))
+
+
+class TestVectorizedEquivalence:
+    """The batched assign paths are *bitwise* identical to the per-region
+    reference loop they replaced (the shard/vector engines rely on this:
+    switching balancer internals must not perturb trajectories)."""
+
+    @staticmethod
+    def _reference_shed(shares, degraded):
+        degraded = np.asarray(degraded, dtype=bool)
+        if not degraded.any() or degraded.all():
+            return shares
+        shed = shares.copy()
+        shed[degraded] = 0.0
+        live = ~degraded
+        column_total = shed.sum(axis=0)
+        uniform_live = live.astype(np.float64) / live.sum()
+        for s in range(shed.shape[1]):
+            if column_total[s] > 0.0:
+                shed[:, s] /= column_total[s]
+            else:
+                shed[:, s] = uniform_live
+        return shed
+
+    @classmethod
+    def _reference_assign(cls, policy, t, demand, loads):
+        """The pre-vectorization region-by-region assign loop."""
+        demand = np.asarray(demand, dtype=np.float64)
+        topology = policy.topology
+        pressure = loads.pressure() if loads is not None else None
+        degraded = loads.degraded_mask() if loads is not None else None
+        rates = np.zeros((topology.num_nodes, demand.shape[1]))
+        for r in range(topology.num_regions):
+            nodes = topology.region_nodes(r)
+            node_pressure = pressure[nodes] if pressure is not None else None
+            shares = policy._shares(r, t, len(nodes), demand[r], node_pressure)
+            if degraded is not None:
+                shares = cls._reference_shed(shares, degraded[nodes])
+            rates[nodes] = shares * demand[r][None, :]
+        return rates
+
+    def _loads_case(self, topology, case, services=3, seed=1):
+        if case == "none":
+            return None
+        rng = np.random.default_rng(seed)
+        n = topology.num_nodes
+        degraded = None
+        if case == "some_degraded":
+            degraded = rng.random(n) < 0.3
+        elif case == "all_degraded":
+            degraded = np.ones(n, dtype=bool)
+        elif case == "half_degraded":
+            degraded = np.zeros(n, dtype=bool)
+            degraded[: max(1, n // 2)] = True
+        return NodeLoads(
+            arrival_rps=200.0 * rng.random((n, services)),
+            utilization=rng.random((n, services)),
+            backlog=np.where(rng.random((n, services)) > 0.7, 50.0, 0.0),
+            degraded=degraded,
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize(
+        "num_nodes,regions",
+        [
+            (64, ("r0", "r1")),  # batch fast path: N % R == 0
+            (1024, ("a", "b", "c", "d")),
+            (7, ("r0", "r1")),  # uneven regions: loop fallback
+            (1, ("r0",)),
+        ],
+    )
+    @pytest.mark.parametrize(
+        "case", ["none", "loads", "some_degraded", "all_degraded", "half_degraded"]
+    )
+    def test_assign_bitwise_matches_reference(self, policy, num_nodes, regions, case):
+        topology = ClusterTopology(num_nodes, regions)
+        demand = _demand(topology)
+        loads = self._loads_case(topology, case)
+        batched = make_balancer(policy, topology, seed=5)
+        reference = make_balancer(policy, topology, seed=5)
+        for t in range(3):
+            got = batched.assign(t, demand, loads)
+            want = self._reference_assign(reference, t, demand, loads)
+            assert np.array_equal(got, want), (policy, t)
+
+    def test_shed_batch_matches_per_region(self):
+        from repro.cluster.balancer import _shed_degraded, _shed_degraded_batch
+
+        rng = np.random.default_rng(9)
+        R, m, S = 5, 8, 3
+        shares = rng.random((R, m, S))
+        shares /= shares.sum(axis=1, keepdims=True)
+        degraded = rng.random((R, m)) < 0.4
+        degraded[1] = False  # untouched region
+        degraded[2] = True  # fully-degraded region
+        degraded[3] = False
+        degraded[3, :7] = True  # one survivor; zero-share columns possible
+        got = _shed_degraded_batch(shares.copy(), degraded)
+        for r in range(R):
+            want = _shed_degraded(shares[r].copy(), degraded[r])
+            assert np.array_equal(got[r], want), r
+
+    def test_sharded_by_key_matches_per_service_hashing(self):
+        from repro.cluster.balancer import _mix_hash
+
+        topology = ClusterTopology(13, ("r0",))
+        policy = make_balancer("sharded_by_key", topology, seed=9)
+        n, S = 13, 4
+        shares = policy._shares(0, 0, n, np.ones(S), None)
+        shards = np.arange(policy.num_shards, dtype=np.uint64)
+        for s in range(S):
+            salt = (
+                np.uint64(0) * np.uint64(0x100000001B3)
+                + np.uint64(s) * np.uint64(0x1000193)
+                + np.uint64(policy.seed & 0xFFFFFFFF)
+            )
+            nodes = (_mix_hash(shards + salt) % np.uint64(n)).astype(np.int64)
+            want = np.bincount(nodes, weights=policy._shard_weights, minlength=n)
+            assert np.array_equal(shares[:, s], want), s
+
+    def test_batch_path_actually_engages(self):
+        # Guard against the fast path silently never firing: a policy with
+        # a batch hook must not call the per-region _shares when N % R == 0.
+        topology = ClusterTopology(8, ("r0", "r1"))
+        balancer = make_balancer("least_loaded", topology, seed=3)
+        calls = []
+        original = balancer._shares
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        balancer._shares = spy
+        loads = self._loads_case(topology, "loads")
+        balancer.assign(0, _demand(topology), loads)
+        assert calls == []
+        # ... and the loop fallback does use it when regions are uneven.
+        topology = ClusterTopology(7, ("r0", "r1"))
+        balancer = make_balancer("least_loaded", topology, seed=3)
+        balancer._shares = spy
+        balancer.assign(0, _demand(topology), self._loads_case(topology, "loads"))
+        assert len(calls) == 2

@@ -1,0 +1,341 @@
+"""ShardedClusterEnvironment: bit-identity with the in-process vector engine.
+
+The shard engine moves only the fused node simulation into worker
+processes; traffic, balancing, and the manager's act/train path stay in
+the parent with the exact same RNG streams. Every test here therefore
+demands *exact* equality — trajectories, state trees, and checkpoint
+bytes — not closeness.
+"""
+
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.cluster.environment import ClusterEnvironment
+from repro.core.config import TwigConfig
+from repro.engine.fleet import FleetTwig
+from repro.engine.rollout import RUN_CKPT_NAME, run_fleet
+from repro.engine.sharded import ShardedClusterEnvironment
+from repro.errors import CheckpointError, ConfigurationError
+from repro.hier import BudgetConfig, HierFleetTwig
+from repro.obs.sink import MemorySink
+from repro.services.profiles import get_profile
+from repro.sim.faults import Fault, FaultInjector
+
+SERVICES = ["masstree", "xapian"]
+
+
+def _make_manager(num_nodes, seed=7, hier=False):
+    profiles = [get_profile(s) for s in SERVICES]
+    config = TwigConfig.fast(epsilon_mid_steps=10, epsilon_final_steps=20)
+    if hier:
+        manager = HierFleetTwig(
+            profiles,
+            config,
+            np.random.default_rng(seed + 1),
+            num_envs=num_nodes,
+            budget=BudgetConfig(period=4),
+            allocator_rng=np.random.default_rng(seed + 2),
+        )
+    else:
+        manager = FleetTwig(
+            profiles,
+            config,
+            np.random.default_rng(seed + 1),
+            num_envs=num_nodes,
+        )
+    manager.index_tag = "node"
+    return manager
+
+
+def _make_env(engine, num_nodes, seed=7, balancer="least_loaded", workers=2):
+    kwargs = dict(
+        num_nodes=num_nodes, seed=seed, traffic="diurnal", balancer=balancer
+    )
+    if engine == "shard":
+        return ShardedClusterEnvironment.from_services(
+            SERVICES, workers=workers, **kwargs
+        )
+    return ClusterEnvironment.from_services(SERVICES, **kwargs)
+
+
+def _series_equal(a, b):
+    """Exact equality for float time series, treating NaN == NaN (crash
+    faults legitimately put NaNs in the p99 trace)."""
+    return np.array_equal(
+        np.asarray(a, dtype=np.float64),
+        np.asarray(b, dtype=np.float64),
+        equal_nan=True,
+    )
+
+
+def _assert_traces_equal(a, b):
+    assert len(a) == len(b)
+    for e, (ta, tb) in enumerate(zip(a, b)):
+        assert ta.manager_name == tb.manager_name
+        assert ta.interval_s == tb.interval_s
+        assert _series_equal(ta.power_w, tb.power_w), e
+        assert _series_equal(ta.true_power_w, tb.true_power_w), e
+        assert _series_equal(ta.membw_utilization, tb.membw_utilization), e
+        assert dict(ta.migrations) == dict(tb.migrations), e
+        assert set(ta.services) == set(tb.services), e
+        for name in ta.services:
+            sa, sb = ta.services[name], tb.services[name]
+            assert sa.qos_target_ms == sb.qos_target_ms, (e, name)
+            assert _series_equal(sa.p99_ms, sb.p99_ms), (e, name)
+            assert _series_equal(sa.arrival_rps, sb.arrival_rps), (e, name)
+            assert _series_equal(sa.cores, sb.cores), (e, name)
+            assert _series_equal(sa.frequency_ghz, sb.frequency_ghz), (e, name)
+
+
+def _assert_tree_equal(a, b, path="root"):
+    """Exact (bitwise for arrays) equality of two checkpoint trees."""
+    if isinstance(a, dict):
+        assert isinstance(b, dict), path
+        assert set(a) == set(b), path
+        for key in a:
+            _assert_tree_equal(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        assert a.dtype == b.dtype, path
+        assert a.shape == b.shape, path
+        assert np.array_equal(a, b, equal_nan=a.dtype.kind == "f"), path
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_tree_equal(x, y, f"{path}[{i}]")
+    else:
+        assert a == b, path
+
+
+def _run_pair(num_nodes, steps, workers, balancer="least_loaded", seed=7):
+    """Run the same fleet through both engines; return (vec, shard) pieces."""
+    results = {}
+    for engine in ("vector", "shard"):
+        manager = _make_manager(num_nodes, seed=seed)
+        venv = _make_env(engine, num_nodes, seed=seed, balancer=balancer,
+                         workers=workers)
+        try:
+            traces = run_fleet(manager, venv, steps)
+            results[engine] = (traces, venv.state_dict(), manager.state_dict())
+        finally:
+            venv.close()
+    return results["vector"], results["shard"]
+
+
+class TestTrajectoryIdentity:
+    def test_traces_states_match_vector(self):
+        vec, shard = _run_pair(num_nodes=6, steps=10, workers=3)
+        _assert_traces_equal(vec[0], shard[0])
+        _assert_tree_equal(vec[1], shard[1])
+        _assert_tree_equal(vec[2], shard[2])
+
+    def test_uneven_shards(self):
+        # 5 nodes over 2 workers: shard bounds 3 + 2, like np.array_split.
+        vec, shard = _run_pair(
+            num_nodes=5, steps=8, workers=2, balancer="power_of_two"
+        )
+        _assert_traces_equal(vec[0], shard[0])
+        _assert_tree_equal(vec[1], shard[1])
+
+    def test_workers_clamped_to_nodes(self):
+        venv = _make_env("shard", num_nodes=2, workers=8)
+        try:
+            assert venv.workers == 2
+            vec, shard = None, None
+        finally:
+            venv.close()
+        vec, shard = _run_pair(num_nodes=2, steps=6, workers=8)
+        _assert_traces_equal(vec[0], shard[0])
+
+    def test_single_worker(self):
+        vec, shard = _run_pair(num_nodes=3, steps=6, workers=1)
+        _assert_traces_equal(vec[0], shard[0])
+        _assert_tree_equal(vec[1], shard[1])
+
+    def test_migration_counts_match(self):
+        results = {}
+        for engine in ("vector", "shard"):
+            manager = _make_manager(4)
+            venv = _make_env(engine, 4, workers=2)
+            try:
+                run_fleet(manager, venv, 6)
+                results[engine] = venv.migration_counts()
+            finally:
+                venv.close()
+        vec = [dict(c) for c in results["vector"]]
+        shard = [dict(c) for c in results["shard"]]
+        assert vec == shard
+
+
+class TestFaults:
+    def test_degraded_node_inside_shard(self):
+        # A pmc_nan + service_crash burst on node 2 must degrade the node,
+        # shed its traffic, and stay bit-identical across engines: the
+        # fault injector RNG lives with the node in its worker.
+        def faults():
+            return [
+                Fault(kind="pmc_nan", service="masstree", start=2, duration=3),
+                Fault(kind="service_crash", service="xapian", start=4, duration=2),
+            ]
+
+        results = {}
+        for engine in ("vector", "shard"):
+            manager = _make_manager(5)
+            venv = _make_env(engine, 5, workers=2, balancer="power_of_two")
+            try:
+                injector = FaultInjector(faults(), np.random.default_rng(99))
+                if engine == "shard":
+                    venv.install_faults(2, injector)
+                else:
+                    venv.envs[2].faults = injector
+                traces = run_fleet(manager, venv, 8)
+                results[engine] = (traces, venv.state_dict())
+            finally:
+                venv.close()
+        _assert_traces_equal(results["vector"][0], results["shard"][0])
+        _assert_tree_equal(results["vector"][1], results["shard"][1])
+
+    def test_install_faults_bounds(self):
+        venv = _make_env("shard", num_nodes=3, workers=2)
+        try:
+            with pytest.raises(ConfigurationError):
+                venv.install_faults(3, FaultInjector([]))
+        finally:
+            venv.close()
+
+
+class TestCheckpoints:
+    def _run_with_ckpt(self, engine, directory, steps=8, every=4):
+        manager = _make_manager(4)
+        venv = _make_env(engine, 4, workers=2)
+        try:
+            traces = run_fleet(
+                manager, venv, steps, checkpoint_every=every,
+                checkpoint_dir=directory,
+            )
+        finally:
+            venv.close()
+        return traces
+
+    def test_checkpoint_bytes_identical(self, tmp_path):
+        a, b = tmp_path / "vec", tmp_path / "shard"
+        a.mkdir(), b.mkdir()
+        self._run_with_ckpt("vector", a)
+        self._run_with_ckpt("shard", b)
+        with zipfile.ZipFile(a / RUN_CKPT_NAME) as za, zipfile.ZipFile(
+            b / RUN_CKPT_NAME
+        ) as zb:
+            assert za.namelist() == zb.namelist()
+            for name in za.namelist():
+                assert za.read(name) == zb.read(name), name
+
+    def test_cross_engine_resume(self, tmp_path):
+        # A shard env resuming a vector-engine run checkpoint must land
+        # on the same trajectory as an uninterrupted vector run.
+        full_dir = tmp_path / "full"
+        half_dir = tmp_path / "half"
+        full_dir.mkdir(), half_dir.mkdir()
+        full = self._run_with_ckpt("vector", full_dir, steps=8, every=4)
+        # The half-run file holds the t=4 mid-flight checkpoint (the
+        # final-step checkpoint is skipped by run_fleet).
+        self._run_with_ckpt("vector", half_dir, steps=8, every=4)
+
+        manager = _make_manager(4)
+        venv = _make_env("shard", 4, workers=2)
+        try:
+            resumed = run_fleet(
+                manager, venv, 8, resume_from=half_dir / RUN_CKPT_NAME
+            )
+        finally:
+            venv.close()
+        _assert_traces_equal(full, resumed)
+
+    def test_load_rejects_wrong_shape(self):
+        venv = _make_env("shard", num_nodes=3, workers=2)
+        other = _make_env("vector", num_nodes=4)
+        try:
+            with pytest.raises(CheckpointError):
+                venv.load_state_dict(other.state_dict())
+            with pytest.raises(CheckpointError):
+                venv.load_state_dict({"num_envs": 3})
+        finally:
+            venv.close()
+
+
+class TestHier:
+    def test_hier_budgets_and_traces_match(self):
+        results = {}
+        for engine in ("vector", "shard"):
+            manager = _make_manager(4, hier=True)
+            venv = _make_env(engine, 4, workers=2)
+            try:
+                traces = run_fleet(manager, venv, 9)
+                results[engine] = (
+                    traces, manager.budgets.copy(), manager.state_dict()
+                )
+            finally:
+                venv.close()
+        _assert_traces_equal(results["vector"][0], results["shard"][0])
+        assert np.array_equal(results["vector"][1], results["shard"][1])
+        _assert_tree_equal(results["vector"][2], results["shard"][2])
+
+
+class TestSurfaceAndErrors:
+    def test_rejects_enabled_trace_sink(self):
+        venv = _make_env("shard", num_nodes=2, workers=2)
+        try:
+            with pytest.raises(ConfigurationError, match="engine vector"):
+                venv.set_trace_sink(MemorySink())
+        finally:
+            venv.close()
+
+    def test_step_after_close_raises(self):
+        venv = _make_env("shard", num_nodes=2, workers=2)
+        venv.close()
+        venv.close()  # idempotent
+        with pytest.raises(ConfigurationError):
+            venv.step([{} for _ in range(2)])
+
+    def test_qos_target_of(self):
+        venv = _make_env("shard", num_nodes=2, workers=2)
+        try:
+            assert venv.qos_target_of("masstree") == get_profile(
+                "masstree"
+            ).qos_target_ms
+            with pytest.raises(ConfigurationError):
+                venv.qos_target_of("nope")
+        finally:
+            venv.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardedClusterEnvironment.from_services(
+                SERVICES, num_nodes=2, seed=1, workers=0
+            )
+        with pytest.raises(ConfigurationError):
+            ShardedClusterEnvironment.from_services(
+                SERVICES, num_nodes=0, seed=1
+            )
+
+
+class TestExperimentConfigs:
+    def test_cluster_config_accepts_shard(self):
+        from repro.experiments.cluster import ClusterConfig
+
+        config = ClusterConfig(engine="shard", workers=2)
+        assert config.workers == 2
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(engine="shard", workers=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(engine="threads")
+
+    def test_hier_config_accepts_shard(self):
+        from repro.experiments.hier import HierConfig
+
+        HierConfig(engine="shard", workers=2)
+        with pytest.raises(ConfigurationError):
+            HierConfig(engine="scalar")
+        with pytest.raises(ConfigurationError):
+            HierConfig(engine="shard", workers=0)

@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-robust test-fleet test-hier trace-e2e bench bench-smoke docs-check profile-cluster
+.PHONY: test test-robust test-fleet test-hier test-ctrl trace-e2e bench bench-smoke docs-check profile-cluster
 
 ## Tier-1: the full unit/property/integration suite (excludes -m slow).
 ## Includes tests/test_repo_hygiene.py, which fails if bytecode, caches,
@@ -40,10 +40,20 @@ test-hier:
 	$(PYTEST) -q tests/test_hier.py tests/test_cluster_balancer.py \
 		tests/test_cluster_traffic.py tests/test_fleet_doc.py
 
+## Control plane: RPC framing/correlation/timeouts, lifecycle state
+## machine + registry sweeps, node agent round-trips, the coordinator
+## E2E churn/rollout suite, and the docs/control_plane.md schema diff.
+test-ctrl:
+	$(PYTEST) -q tests/test_ctrl_rpc.py tests/test_ctrl_lifecycle.py \
+		tests/test_ctrl_registry.py tests/test_ctrl_node_agent.py \
+		tests/test_ctrl_e2e.py tests/test_ctrl_doc.py
+
 ## Schema/doc consistency: docs/observability.md vs the event registry,
-## docs/fleet.md vs the cluster layer.
+## docs/fleet.md vs the cluster layer, docs/control_plane.md vs
+## repro.ctrl.
 docs-check:
-	$(PYTEST) -q tests/test_obs_schema_doc.py tests/test_fleet_doc.py
+	$(PYTEST) -q tests/test_obs_schema_doc.py tests/test_fleet_doc.py \
+		tests/test_ctrl_doc.py
 
 ## Paper-artifact benchmarks at quick scale.
 bench:

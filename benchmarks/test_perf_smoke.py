@@ -622,6 +622,63 @@ def test_hier_step(tmp_path):
     assert results["nodes_256"]["step_ms"] < 1000.0, results
 
 
+def test_ctrl_rpc_throughput():
+    """Control-plane RPC round-trip rate on loopback TCP.
+
+    A coordinator with 8 registered (heartbeating) nodes answers
+    ``allocate`` and ``status`` over newline-delimited JSON-RPC from one
+    persistent client connection. Requests/s is recorded, not asserted:
+    it prices the online-allocation serving path (socket round trip +
+    JSON codec + balancer solve) on whatever CPU the benchmark box has,
+    and the recorded cpu count is what makes it comparable across runs.
+    """
+    from repro.ctrl.coordinator import Coordinator
+    from repro.ctrl.registry import ManualClock
+    from repro.ctrl.rpc import RpcClient
+
+    services = ["masstree", "xapian"]
+    demand = {"masstree": 4000.0, "xapian": 1200.0}
+    num_nodes, rounds = 8, 200
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+
+    clock = ManualClock()
+    with Coordinator(services, seed=3, clock=clock) as coordinator:
+        for i in range(num_nodes):
+            record = coordinator.registry.register(
+                f"bench-{i}", f"127.0.0.1:{9000 + i}", services
+            )
+            coordinator.registry.heartbeat(record.node_id, record.epoch)
+        with RpcClient(coordinator.address, timeout_s=30.0) as cli:
+            for _ in range(5):  # warm up the connection and codec paths
+                cli.call("allocate", {"demand": demand})
+                cli.call("status")
+            allocate_s = _best_block_s(
+                lambda: cli.call("allocate", {"demand": demand}),
+                rounds,
+                per_block=10,
+            )
+            status_s = _best_block_s(
+                lambda: cli.call("status"), rounds, per_block=10
+            )
+
+    results = {
+        "nodes": num_nodes,
+        "services": len(services),
+        "rounds": rounds,
+        "cpus": cpus,
+        "allocate_us": round(allocate_s * 1e6, 1),
+        "allocate_rps": round(1.0 / allocate_s, 1),
+        "status_us": round(status_s * 1e6, 1),
+        "status_rps": round(1.0 / status_s, 1),
+    }
+    print(
+        f"\nctrl rpc ({num_nodes} nodes, {cpus} cpus): "
+        f"allocate {allocate_s * 1e6:.0f}us ({1.0 / allocate_s:.0f} req/s), "
+        f"status {status_s * 1e6:.0f}us ({1.0 / status_s:.0f} req/s)"
+    )
+    _record("ctrl_rpc_throughput", results)
+
+
 def test_parallel_runner_vs_serial(tmp_path):
     ids = ["tab03", "fig04", "tab02", "mem"]  # slowest first helps scheduling
     jobs = 4

@@ -16,6 +16,13 @@ Subcommands
   ``summarize`` (run-level aggregates), ``tail`` (last events),
   ``export-csv`` (flatten one event type), ``report`` (learning curve +
   violation timeline).
+- ``serve``              — run the control-plane coordinator daemon
+  (node registry, heartbeat lifecycle, online allocation, rolling
+  policy updates; see ``docs/control_plane.md``).
+- ``node``               — run one Twig node agent: join a coordinator,
+  heartbeat, and serve ``allocate``/``report_interval``/``update_policy``.
+- ``ctrl``               — operator commands against a running
+  coordinator: ``status``, ``allocate``, ``rollout``.
 """
 
 from __future__ import annotations
@@ -356,6 +363,149 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_until(duration: Optional[float]) -> None:
+    """Block until ``duration`` seconds pass or SIGINT/SIGTERM arrives."""
+    import signal
+    import threading
+
+    stop = threading.Event()
+
+    def handler(signum, frame):
+        stop.set()
+
+    old_int = signal.signal(signal.SIGINT, handler)
+    old_term = signal.signal(signal.SIGTERM, handler)
+    try:
+        stop.wait(duration)
+    finally:
+        signal.signal(signal.SIGINT, old_int)
+        signal.signal(signal.SIGTERM, old_term)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.ctrl import Coordinator
+    from repro.obs.sink import open_sink
+
+    with open_sink(args.trace) as sink:
+        coordinator = Coordinator(
+            args.services,
+            bind=args.bind,
+            heartbeat_interval_s=args.heartbeat_interval,
+            degraded_after=args.degraded_after,
+            offline_after=args.offline_after,
+            balancer=args.balancer,
+            seed=args.seed,
+            trace=sink,
+        )
+        try:
+            coordinator.start_sweeper()
+            print(f"coordinator serving on {coordinator.address}", flush=True)
+            _serve_until(args.duration)
+        finally:
+            coordinator.close()
+    print("coordinator stopped")
+    return 0
+
+
+def cmd_node(args: argparse.Namespace) -> int:
+    from repro.ctrl import TwigNodeAgent
+
+    agent = TwigNodeAgent(
+        args.id, args.services, seed=args.seed, bind=args.bind
+    )
+    try:
+        epoch = agent.join(args.coordinator)
+        agent.start_heartbeats()
+        print(
+            f"node {args.id} serving on {agent.address} "
+            f"(coordinator {args.coordinator}, epoch {epoch})",
+            flush=True,
+        )
+        _serve_until(args.duration)
+    finally:
+        agent.close()
+    print(f"node {args.id} stopped")
+    return 0
+
+
+def cmd_ctrl_status(args: argparse.Namespace) -> int:
+    from repro.ctrl import RpcClient
+
+    with RpcClient(args.coordinator, timeout_s=args.timeout) as client:
+        status = client.call("status")
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counts = status["counts"]
+    print(
+        f"coordinator {args.coordinator}: registry v{status['version']}, "
+        f"policy v{status['policy_version']}"
+        + (f" ({status['policy_source']})" if status["policy_source"] else "")
+    )
+    print(
+        "  "
+        + "  ".join(f"{state}={count}" for state, count in counts.items())
+    )
+    for node in status["nodes"]:
+        print(
+            f"  {node['node_id']:16s} {node['state']:12s} "
+            f"epoch {node['epoch']:<4d} policy v{node['policy_version']:<4d} "
+            f"missed {node['missed']}  {node['address']}"
+        )
+    return 0
+
+
+def cmd_ctrl_allocate(args: argparse.Namespace) -> int:
+    from repro.ctrl import RpcClient
+
+    demand = {}
+    for pair in args.demand:
+        service, sep, rate = pair.partition("=")
+        if not sep or not service:
+            print(
+                f"error: demand must be service=rps pairs, got {pair!r}",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            demand[service] = float(rate)
+        except ValueError:
+            print(f"error: invalid rate in {pair!r}", file=sys.stderr)
+            return 1
+    with RpcClient(args.coordinator, timeout_s=args.timeout) as client:
+        result = client.call("allocate", {"demand": demand})
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    for node_id, rates in result["nodes"].items():
+        cells = "  ".join(f"{svc}={rate:.1f}" for svc, rate in rates.items())
+        print(f"{node_id:16s} {cells}")
+    return 0
+
+
+def cmd_ctrl_rollout(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.ctrl import RpcClient
+
+    # Resolve against the operator's cwd before sending: the coordinator
+    # and every node agent resolve the path against *their own* working
+    # directories, so a relative path silently means a different file (or
+    # none) on each process even on a shared filesystem.
+    params: dict = {"path": str(Path(args.checkpoint).resolve())}
+    if args.version is not None:
+        params["version"] = args.version
+    with RpcClient(args.coordinator, timeout_s=args.timeout) as client:
+        result = client.call("rollout", params, timeout_s=args.timeout)
+    print(
+        f"policy v{result['version']} from {result['source']}: "
+        f"{len(result['updated'])}/{len(result['targets'])} nodes updated"
+    )
+    for node_id, reason in result["failed"].items():
+        print(f"  {node_id}: {reason}", file=sys.stderr)
+    return 1 if result["failed"] or not result["updated"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -502,6 +652,107 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-timings", action="store_true", help="omit the timings section"
     )
     report.set_defaults(func=cmd_trace_report)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the control-plane coordinator daemon"
+    )
+    serve_parser.add_argument(
+        "--services", nargs="+", default=["masstree", "xapian"],
+        help="services every node in the fleet manages",
+    )
+    serve_parser.add_argument(
+        "--bind", default="127.0.0.1:0",
+        help="host:port or unix:/path to serve on (port 0 = ephemeral; "
+             "the bound address is printed on startup)",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="S",
+        help="seconds between expected node heartbeats",
+    )
+    serve_parser.add_argument(
+        "--degraded-after", type=int, default=1, metavar="N",
+        help="missed heartbeats before a node is marked degraded",
+    )
+    serve_parser.add_argument(
+        "--offline-after", type=int, default=3, metavar="N",
+        help="missed heartbeats before a degraded node goes offline "
+             "(must exceed --degraded-after)",
+    )
+    serve_parser.add_argument(
+        "--balancer", default="least_loaded",
+        help="load-balancer policy for allocate calls",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record control-plane events (node_registered, "
+             "node_state_change, ...) to a JSONL trace",
+    )
+    serve_parser.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="exit after S seconds (default: run until SIGINT/SIGTERM)",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    node_parser = sub.add_parser(
+        "node", help="run one Twig node agent against a coordinator"
+    )
+    node_parser.add_argument("--id", required=True, help="stable node identifier")
+    node_parser.add_argument(
+        "--coordinator", required=True, metavar="ADDR",
+        help="coordinator address (host:port or unix:/path)",
+    )
+    node_parser.add_argument(
+        "--services", nargs="+", default=["masstree", "xapian"],
+        help="services this node's Twig manages (must match the coordinator)",
+    )
+    node_parser.add_argument(
+        "--bind", default="127.0.0.1:0",
+        help="address the node agent serves RPCs on",
+    )
+    node_parser.add_argument("--seed", type=int, default=0)
+    node_parser.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="exit after S seconds (default: run until SIGINT/SIGTERM)",
+    )
+    node_parser.set_defaults(func=cmd_node)
+
+    ctrl_parser = sub.add_parser(
+        "ctrl", help="operator commands against a running coordinator"
+    )
+    ctrl_sub = ctrl_parser.add_subparsers(dest="ctrl_command", required=True)
+
+    ctrl_status = ctrl_sub.add_parser("status", help="fleet lifecycle snapshot")
+    ctrl_status.add_argument("--coordinator", required=True, metavar="ADDR")
+    ctrl_status.add_argument("--timeout", type=float, default=5.0)
+    ctrl_status.add_argument("--json", action="store_true")
+    ctrl_status.set_defaults(func=cmd_ctrl_status)
+
+    ctrl_allocate = ctrl_sub.add_parser(
+        "allocate", help="spread per-service demand over the serving fleet"
+    )
+    ctrl_allocate.add_argument("--coordinator", required=True, metavar="ADDR")
+    ctrl_allocate.add_argument(
+        "demand", nargs="+", metavar="SVC=RPS",
+        help="per-service offered load, e.g. masstree=3000",
+    )
+    ctrl_allocate.add_argument("--timeout", type=float, default=5.0)
+    ctrl_allocate.add_argument("--json", action="store_true")
+    ctrl_allocate.set_defaults(func=cmd_ctrl_allocate)
+
+    ctrl_rollout = ctrl_sub.add_parser(
+        "rollout", help="roll a checkpointed policy onto the healthy fleet"
+    )
+    ctrl_rollout.add_argument("--coordinator", required=True, metavar="ADDR")
+    ctrl_rollout.add_argument(
+        "checkpoint", help="repro.ckpt checkpoint path (twig or bdq_agent kind)"
+    )
+    ctrl_rollout.add_argument(
+        "--version", type=int, default=None,
+        help="explicit policy version (default: coordinator's current + 1)",
+    )
+    ctrl_rollout.add_argument("--timeout", type=float, default=30.0)
+    ctrl_rollout.set_defaults(func=cmd_ctrl_rollout)
     return parser
 
 

@@ -1,0 +1,85 @@
+"""repro.ctrl: the Twig control plane as a long-running service.
+
+Everything before this package runs Twig as a batch script. ``repro.ctrl``
+makes the reproduction deployable: a **coordinator** daemon keeps a
+versioned registry of per-node **Twig node agents** (registration epochs,
+heartbeat deadlines, a registered→healthy→degraded→offline→deregistered
+lifecycle), serves online allocation decisions through the existing
+:mod:`repro.cluster.balancer` policies, and rolls checkpointed policies
+onto the live fleet with a version handshake. All of it speaks
+newline-delimited JSON-RPC 2.0 over TCP or unix sockets
+(:mod:`repro.ctrl.rpc`).
+
+Entry points: ``repro serve`` (coordinator daemon), ``repro node`` (node
+agent), ``repro ctrl status|allocate|rollout`` (operator commands). See
+``docs/control_plane.md`` for the wire schema and rollout procedure.
+"""
+
+from repro.ctrl.coordinator import COORDINATOR_METHODS, Coordinator
+from repro.ctrl.lifecycle import (
+    ACTIVE_STATES,
+    DEGRADED,
+    DEREGISTERED,
+    HEALTHY,
+    LIFECYCLE_EVENTS,
+    NODE_STATES,
+    OFFLINE,
+    REGISTERED,
+    SERVING_STATES,
+    TRANSITIONS,
+    next_state,
+)
+from repro.ctrl.node_agent import (
+    NODE_METHODS,
+    TwigNodeAgent,
+    assignments_to_wire,
+    step_result_to_wire,
+    wire_to_assignments,
+    wire_to_step_result,
+)
+from repro.ctrl.registry import ManualClock, NodeRecord, NodeRegistry
+from repro.ctrl.rpc import (
+    RpcClient,
+    RpcInvalidParams,
+    RpcMethodNotFound,
+    RpcMethodSpec,
+    RpcParamSpec,
+    RpcRemoteError,
+    RpcServer,
+    method_spec,
+    parse_address,
+)
+
+__all__ = [
+    "COORDINATOR_METHODS",
+    "Coordinator",
+    "ACTIVE_STATES",
+    "DEGRADED",
+    "DEREGISTERED",
+    "HEALTHY",
+    "LIFECYCLE_EVENTS",
+    "NODE_STATES",
+    "OFFLINE",
+    "REGISTERED",
+    "SERVING_STATES",
+    "TRANSITIONS",
+    "next_state",
+    "NODE_METHODS",
+    "TwigNodeAgent",
+    "assignments_to_wire",
+    "step_result_to_wire",
+    "wire_to_assignments",
+    "wire_to_step_result",
+    "ManualClock",
+    "NodeRecord",
+    "NodeRegistry",
+    "RpcClient",
+    "RpcInvalidParams",
+    "RpcMethodNotFound",
+    "RpcMethodSpec",
+    "RpcParamSpec",
+    "RpcRemoteError",
+    "RpcServer",
+    "method_spec",
+    "parse_address",
+]

@@ -1,0 +1,436 @@
+"""The control-plane coordinator: registry + balancer behind an RPC server.
+
+One :class:`Coordinator` serves a fleet of
+:class:`~repro.ctrl.node_agent.TwigNodeAgent`\\ s. It owns a
+:class:`~repro.ctrl.registry.NodeRegistry` (lifecycle, epochs,
+heartbeat deadlines) and answers:
+
+``allocate``
+    The online serving path: given per-service demand (requests/s),
+    sweep deadlines, build :class:`~repro.cluster.balancer.NodeLoads`
+    feedback from the latest heartbeats — with the ``degraded`` mask set
+    for nodes in the ``degraded`` lifecycle state — and run the
+    configured balancer policy. Degraded nodes shed traffic through
+    the exact same :func:`~repro.cluster.balancer._shed_degraded` path a
+    faulted in-simulation node uses; offline nodes drop out of the
+    topology entirely.
+
+``rollout``
+    Rolling policy update. The checkpoint is **staged locally first**
+    (:func:`repro.ckpt.checkpoint.checkpoint_kind` reads the whole
+    container, so a torn file raises
+    :class:`~repro.errors.CheckpointError` before any node is
+    contacted), then pushed to each healthy node's ``update_policy``
+    with a bounded per-node timeout and a version handshake. Nodes that
+    refuse (torn re-read, version conflict) or cannot be reached are
+    reported per node; confirmed nodes have their policy version
+    recorded in the registry.
+
+The balancer is rebuilt whenever serving membership changes — the
+single-region :class:`~repro.cluster.topology.ClusterTopology` is sized
+to the serving fleet, and the policy is reconstructed with the
+coordinator's seed so allocation stays deterministic for a given
+(membership, feedback, demand) history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ckpt.checkpoint import checkpoint_kind
+from repro.cluster.balancer import make_balancer
+from repro.cluster.topology import ClusterTopology
+from repro.core.twig import Twig
+from repro.ctrl.registry import NodeRegistry
+from repro.ctrl.rpc import (
+    RpcClient,
+    RpcError,
+    RpcInvalidParams,
+    RpcMethodNotFound,
+    RpcMethodSpec,
+    RpcServer,
+    method_spec,
+)
+from repro.errors import CheckpointError, ConfigurationError, ControlPlaneError
+from repro.obs.events import make_event
+from repro.obs.sink import NULL_SINK, TraceSink
+from repro.rl.agent import BDQAgent
+
+__all__ = ["COORDINATOR_METHODS", "Coordinator"]
+
+#: Checkpoint kinds a rollout will push (anything Twig.load accepts).
+_ROLLOUT_KINDS = (Twig.CKPT_KIND, BDQAgent.CKPT_KIND)
+
+#: Every method the coordinator serves; docs/control_plane.md mirrors
+#: this table (tests/test_ctrl_doc.py diffs the two).
+COORDINATOR_METHODS: Dict[str, RpcMethodSpec] = {
+    spec.name: spec
+    for spec in (
+        method_spec(
+            "ping", "Liveness probe.", "object",
+        ),
+        method_spec(
+            "register",
+            "Admit (or re-admit) a node agent; grants a fresh epoch.",
+            "object",
+            ("node_id", "str", "Stable node identifier"),
+            ("address", "str", "RPC address the node agent serves on"),
+            ("services", "list", "Services the node's Twig manages (must "
+                                 "match the coordinator's service set)"),
+        ),
+        method_spec(
+            "heartbeat",
+            "Liveness report; carries optional load telemetry and the "
+            "node's running policy version.",
+            "object",
+            ("node_id", "str", "Reporting node"),
+            ("epoch", "int", "Epoch the node registered under (stale "
+                             "epochs are rejected)"),
+            ("loads", "object", "Optional per-service arrival_rps / "
+                                "utilization / backlog"),
+            ("policy_version", "int", "Optional policy version the node "
+                                      "is serving"),
+        ),
+        method_spec(
+            "deregister",
+            "Remove a node from service (terminal until re-register).",
+            "object",
+            ("node_id", "str", "Node to remove"),
+            ("epoch", "int", "Optional epoch guard"),
+        ),
+        method_spec(
+            "sweep",
+            "Account for expired heartbeat deadlines now (also runs "
+            "implicitly before allocate/status).",
+            "object",
+        ),
+        method_spec(
+            "status",
+            "Fleet snapshot: per-node lifecycle records, state counts, "
+            "registry version, serving policy version.",
+            "object",
+        ),
+        method_spec(
+            "allocate",
+            "Spread per-service demand (requests/s) over the serving "
+            "fleet; degraded nodes shed traffic, offline nodes get none.",
+            "object",
+            ("demand", "object", "Per-service offered load in requests/s"),
+        ),
+        method_spec(
+            "rollout",
+            "Stage a repro.ckpt checkpoint (refusing torn files before "
+            "any node is touched) and push it to every healthy node.",
+            "object",
+            ("path", "str", "Checkpoint path readable by the nodes"),
+            ("version", "int", "Optional explicit policy version; "
+                               "defaults to current + 1"),
+        ),
+    )
+}
+
+
+class Coordinator:
+    """Registry + balancer + rollout engine behind one RPC server."""
+
+    def __init__(
+        self,
+        services: Sequence[str],
+        bind: str = "127.0.0.1:0",
+        heartbeat_interval_s: float = 1.0,
+        degraded_after: int = 1,
+        offline_after: int = 3,
+        balancer: str = "least_loaded",
+        seed: int = 0,
+        node_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        trace: TraceSink = NULL_SINK,
+    ):
+        if not services:
+            raise ConfigurationError("coordinator needs at least one service")
+        self.services = tuple(services)
+        self.seed = int(seed)
+        self.balancer_name = balancer
+        self.node_timeout_s = float(node_timeout_s)
+        self._trace = trace
+        self.registry = NodeRegistry(
+            heartbeat_interval_s=heartbeat_interval_s,
+            degraded_after=degraded_after,
+            offline_after=offline_after,
+            clock=clock,
+            trace=trace,
+        )
+        self._lock = threading.Lock()
+        self._balancer = None
+        self._balancer_nodes: List[str] = []
+        self._time = 0
+        self.policy_version = 0
+        self.policy_source = ""
+        self._server = RpcServer(self._dispatch, bind=bind).start()
+        self._sweeper: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> str:
+        return self._server.address
+
+    def start_sweeper(self, period_s: Optional[float] = None) -> None:
+        """Run deadline sweeps on a daemon thread (daemon mode).
+
+        Tests drive :meth:`NodeRegistry.sweep` directly with a manual
+        clock instead; the background sweeper exists for ``repro serve``.
+        """
+        if self._sweeper is not None:
+            return
+        period = (
+            float(period_s)
+            if period_s is not None
+            else self.registry.heartbeat_interval_s / 2.0
+        )
+
+        def loop() -> None:
+            while not self._stop.wait(period):
+                try:
+                    self.registry.sweep()
+                except Exception:
+                    continue
+
+        self._sweeper = threading.Thread(
+            target=loop, name="ctrl-sweeper", daemon=True
+        )
+        self._sweeper.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=5.0)
+            self._sweeper = None
+        self._server.close()
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, method: str, params: Dict[str, Any]) -> Any:
+        if method not in COORDINATOR_METHODS:
+            raise RpcMethodNotFound(
+                f"unknown method {method!r}; known: {sorted(COORDINATOR_METHODS)}"
+            )
+        return getattr(self, f"_rpc_{method}")(params)
+
+    def _rpc_ping(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "services": list(self.services)}
+
+    def _rpc_register(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        node_id = params.get("node_id")
+        address = params.get("address")
+        services = params.get("services")
+        if not isinstance(node_id, str) or not node_id:
+            raise RpcInvalidParams("register needs a 'node_id' string")
+        if not isinstance(address, str) or not address:
+            raise RpcInvalidParams("register needs an 'address' string")
+        if not isinstance(services, list) or not services:
+            raise RpcInvalidParams("register needs a non-empty 'services' list")
+        if tuple(services) != self.services:
+            raise ControlPlaneError(
+                f"node {node_id!r} manages services {services}, coordinator "
+                f"manages {list(self.services)}; mixed fleets are not supported"
+            )
+        record = self.registry.register(node_id, address, services)
+        return {
+            "node_id": record.node_id,
+            "epoch": record.epoch,
+            "state": record.state,
+            "heartbeat_interval_s": self.registry.heartbeat_interval_s,
+            "policy_version": self.policy_version,
+        }
+
+    def _rpc_heartbeat(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        node_id = params.get("node_id")
+        epoch = params.get("epoch")
+        if not isinstance(node_id, str) or not node_id:
+            raise RpcInvalidParams("heartbeat needs a 'node_id' string")
+        if not isinstance(epoch, int) or isinstance(epoch, bool):
+            raise RpcInvalidParams("heartbeat needs an integer 'epoch'")
+        loads = params.get("loads")
+        if loads is not None and not isinstance(loads, dict):
+            raise RpcInvalidParams("'loads' must be an object when present")
+        policy_version = params.get("policy_version")
+        state = self.registry.heartbeat(
+            node_id, epoch, loads=loads, policy_version=policy_version
+        )
+        return {"state": state, "registry_version": self.registry.version}
+
+    def _rpc_deregister(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        node_id = params.get("node_id")
+        if not isinstance(node_id, str) or not node_id:
+            raise RpcInvalidParams("deregister needs a 'node_id' string")
+        self.registry.deregister(node_id, params.get("epoch"))
+        return {"ok": True}
+
+    def _rpc_sweep(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        changed = self.registry.sweep()
+        return {"changed": changed, "registry_version": self.registry.version}
+
+    def _rpc_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        self.registry.sweep()
+        status = self.registry.status()
+        status["services"] = list(self.services)
+        status["balancer"] = self.balancer_name
+        status["policy_version"] = self.policy_version
+        status["policy_source"] = self.policy_source
+        return status
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def _rpc_allocate(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        demand = params.get("demand")
+        if not isinstance(demand, dict) or not demand:
+            raise RpcInvalidParams(
+                "allocate needs a 'demand' object of per-service rates"
+            )
+        unknown = set(demand) - set(self.services)
+        if unknown:
+            raise RpcInvalidParams(
+                f"demand names unknown services {sorted(unknown)}; "
+                f"coordinator manages {list(self.services)}"
+            )
+        try:
+            rates = {svc: float(demand.get(svc, 0.0)) for svc in self.services}
+        except (TypeError, ValueError) as exc:
+            raise RpcInvalidParams(f"demand rates must be numbers: {exc}") from exc
+        self.registry.sweep()
+        with self._lock:
+            records = self.registry.active_records()
+            if not records:
+                raise ControlPlaneError(
+                    "no serving nodes: every node is offline or deregistered"
+                )
+            node_ids, loads = self.registry.loads(self.services, records)
+            if node_ids != self._balancer_nodes:
+                # Membership changed: rebuild the policy over a topology
+                # sized to the serving fleet. Feedback history restarts,
+                # which is the safe default after churn.
+                topology = ClusterTopology(num_nodes=len(node_ids))
+                self._balancer = make_balancer(
+                    self.balancer_name, topology, seed=self.seed
+                )
+                self._balancer_nodes = list(node_ids)
+            demand_matrix = np.array(
+                [[rates[svc] for svc in self.services]], dtype=np.float64
+            )
+            # First interval has no feedback yet (all-zero loads read as
+            # uniform headroom), which matches the in-sim cluster loop.
+            assignment = self._balancer.assign(self._time, demand_matrix, loads)
+            self._time += 1
+        return {
+            "t": self._time - 1,
+            "nodes": {
+                node_id: {
+                    svc: float(assignment[i, j])
+                    for j, svc in enumerate(self.services)
+                }
+                for i, node_id in enumerate(node_ids)
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # rolling policy updates
+    # ------------------------------------------------------------------ #
+    def _rpc_rollout(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        path = params.get("path")
+        if not isinstance(path, str) or not path:
+            raise RpcInvalidParams("rollout needs a 'path' string")
+        version = params.get("version")
+        if version is not None and (
+            not isinstance(version, int) or isinstance(version, bool)
+        ):
+            raise RpcInvalidParams("'version' must be an integer when present")
+        return self.rollout(path, version)
+
+    def rollout(self, path: str, version: Optional[int] = None) -> Dict[str, Any]:
+        """Stage ``path`` and push it to every healthy node.
+
+        Raises :class:`~repro.errors.CheckpointError` (torn/unreadable
+        file) or :class:`~repro.errors.ControlPlaneError` (wrong kind,
+        non-advancing version) before any node is contacted. Per-node
+        failures after staging do not abort the rollout — they are
+        reported in the result and the node keeps its old policy.
+        """
+        with self._lock:
+            if version is None:
+                version = self.policy_version + 1
+            if version <= self.policy_version:
+                raise ControlPlaneError(
+                    f"rollout version {version} does not advance the fleet "
+                    f"(already at {self.policy_version})"
+                )
+            # Staging: checkpoint_kind reads the whole container, so a
+            # torn or corrupt file raises CheckpointError here — before
+            # any node has been asked to load anything.
+            kind = checkpoint_kind(path)
+            if kind is not None and kind not in _ROLLOUT_KINDS:
+                raise CheckpointError(
+                    f"checkpoint {path!r} has kind {kind!r}; a rollout needs "
+                    f"one of {list(_ROLLOUT_KINDS)}"
+                )
+            targets = [
+                record
+                for record in self.registry.active_records()
+                if record.state == "healthy"
+            ]
+        updated: List[str] = []
+        failed: Dict[str, str] = {}
+        for record in targets:
+            try:
+                with RpcClient(
+                    record.address, timeout_s=self.node_timeout_s
+                ) as client:
+                    confirm = client.call(
+                        "update_policy", {"path": path, "version": version}
+                    )
+                confirmed = int(confirm["policy_version"])
+                if confirmed != version:
+                    failed[record.node_id] = (
+                        f"confirmed version {confirmed}, expected {version}"
+                    )
+                    continue
+                self.registry.set_policy_version(record.node_id, version)
+                updated.append(record.node_id)
+            except (RpcError, ControlPlaneError, KeyError, ValueError) as exc:
+                failed[record.node_id] = str(exc)
+        with self._lock:
+            if updated:
+                self.policy_version = version
+                self.policy_source = path
+        if self._trace.enabled:
+            self._trace.emit(
+                make_event(
+                    "policy_rollout", -1,
+                    version=int(version),
+                    source=path,
+                    updated=len(updated),
+                    failed=len(failed),
+                    nodes=list(updated),
+                )
+            )
+        return {
+            "version": int(version),
+            "source": path,
+            "updated": updated,
+            "failed": failed,
+            "targets": [record.node_id for record in targets],
+        }

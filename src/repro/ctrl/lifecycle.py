@@ -1,0 +1,120 @@
+"""Node lifecycle state machine for the control-plane registry.
+
+A node moves through a small, versioned state machine driven by exactly
+three events — ``heartbeat`` (a liveness report arrived), ``deadline``
+(a heartbeat deadline passed without one), and ``deregister`` (the node
+or an operator removed it):
+
+.. code-block:: text
+
+    registered --heartbeat--> healthy --deadline--> degraded
+        |                       ^  |                   |  ^
+        |                       |  +----deadline-------+  |
+        |                       +-------heartbeat---------+
+        |                       |                      deadline
+        |                       +-----heartbeat----+      |
+        |                                          |      v
+        +----------------deadline--------------> degraded/offline
+                                                          |
+    (any state) --deregister--> deregistered  <-----------+
+
+The shape mirrors the KohakuRiver task machine
+(submitted → working → completed/failed): ``registered`` is the
+freshly-announced state, ``healthy`` the steady state, ``degraded`` a
+soft-failure state the balancer sheds traffic away from, ``offline``
+the hard-failure state, and ``deregistered`` terminal. Two invariants
+the tests assert:
+
+* **No deadline skip.** A ``deadline`` event moves a node at most one
+  step toward ``offline`` — ``healthy`` can never jump straight to
+  ``offline`` without passing through ``degraded``.
+* **Recovery is always one heartbeat away.** From any non-terminal
+  state a ``heartbeat`` lands the node in ``healthy``.
+
+``deregistered`` is terminal: no event leaves it. A node that comes
+back must re-register, which the registry grants a **fresh epoch** so
+heartbeats from the previous incarnation are rejected (the
+split-registry guard).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "REGISTERED",
+    "HEALTHY",
+    "DEGRADED",
+    "OFFLINE",
+    "DEREGISTERED",
+    "NODE_STATES",
+    "LIFECYCLE_EVENTS",
+    "TRANSITIONS",
+    "ACTIVE_STATES",
+    "SERVING_STATES",
+    "next_state",
+]
+
+REGISTERED = "registered"
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+OFFLINE = "offline"
+DEREGISTERED = "deregistered"
+
+#: Every lifecycle state, in rough order of health.
+NODE_STATES: Tuple[str, ...] = (
+    REGISTERED,
+    HEALTHY,
+    DEGRADED,
+    OFFLINE,
+    DEREGISTERED,
+)
+
+#: The three events that drive transitions.
+LIFECYCLE_EVENTS: Tuple[str, ...] = ("heartbeat", "deadline", "deregister")
+
+#: ``TRANSITIONS[state][event] -> new_state``. A missing event means the
+#: event is a no-op in that state (e.g. ``deadline`` while ``offline`` —
+#: the node is already as dead as deadlines can make it).
+TRANSITIONS: Dict[str, Dict[str, str]] = {
+    REGISTERED: {
+        "heartbeat": HEALTHY,
+        "deadline": DEGRADED,
+        "deregister": DEREGISTERED,
+    },
+    HEALTHY: {
+        "heartbeat": HEALTHY,
+        "deadline": DEGRADED,
+        "deregister": DEREGISTERED,
+    },
+    DEGRADED: {
+        "heartbeat": HEALTHY,
+        "deadline": OFFLINE,
+        "deregister": DEREGISTERED,
+    },
+    OFFLINE: {
+        "heartbeat": HEALTHY,
+        "deregister": DEREGISTERED,
+    },
+    DEREGISTERED: {},
+}
+
+#: States the registry still tracks deadlines for.
+ACTIVE_STATES: Tuple[str, ...] = (REGISTERED, HEALTHY, DEGRADED)
+
+#: States a coordinator will route traffic to (degraded nodes stay in
+#: the topology but are shed via :class:`repro.cluster.balancer.NodeLoads`).
+SERVING_STATES: Tuple[str, ...] = (REGISTERED, HEALTHY, DEGRADED)
+
+
+def next_state(state: str, event: str) -> Optional[str]:
+    """The state reached from ``state`` on ``event``.
+
+    Returns ``None`` when the event is a no-op in that state. Raises
+    ``KeyError`` for an unknown state and ``ValueError`` for an unknown
+    event — both are programming errors, not runtime conditions.
+    """
+    if event not in LIFECYCLE_EVENTS:
+        raise ValueError(f"unknown lifecycle event {event!r}")
+    table = TRANSITIONS[state]
+    return table.get(event)

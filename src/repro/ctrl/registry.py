@@ -1,0 +1,401 @@
+"""Node registry: the coordinator's versioned view of the fleet.
+
+:class:`NodeRegistry` tracks every node agent that has registered,
+drives the :mod:`repro.ctrl.lifecycle` state machine from heartbeats
+and deadline sweeps, and exposes the fleet as
+:class:`~repro.cluster.balancer.NodeLoads` feedback so the existing
+balancer policies shed traffic away from degraded nodes.
+
+Design points the tests lean on:
+
+**Epochs (split-registry guard).** Every ``register`` — including a
+re-register of a known node id — bumps that node's epoch. Heartbeats
+carry the epoch they were issued under; a heartbeat with a stale epoch
+is rejected with :class:`~repro.errors.ControlPlaneError`. When a node
+restarts (or a partitioned duplicate of it reappears), the stale
+incarnation cannot keep the registry entry alive or corrupt the fresh
+one.
+
+**Monotonic deadlines.** A node's heartbeat deadline only moves
+forward: a heartbeat sets ``deadline = max(deadline, now + interval)``
+and a sweep advances ``deadline += interval`` per missed tick. Clock
+reads never rewind a deadline, so a burst of heartbeats cannot mask a
+previously missed tick and a slow sweep cannot double-count one.
+
+**Injectable clock.** Time is a zero-argument callable (default
+``time.monotonic``). Tests inject :class:`ManualClock` and advance it
+explicitly, making every lifecycle scenario — including the
+degraded→offline escalation — deterministic with no sleeps.
+
+**Registry version.** Every state transition bumps a registry-wide
+monotonic version counter. ``status()`` reports it, so an operator (or
+a test) can cheaply detect that membership changed between two polls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.balancer import NodeLoads
+from repro.ctrl import lifecycle
+from repro.errors import ConfigurationError, ControlPlaneError
+from repro.obs.events import make_event
+from repro.obs.sink import NULL_SINK, TraceSink
+
+__all__ = ["ManualClock", "NodeRecord", "NodeRegistry"]
+
+
+class ManualClock:
+    """A deterministic clock for tests: starts at 0, advances on demand."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds and return the new now."""
+        if dt < 0:
+            raise ConfigurationError(f"cannot rewind a ManualClock (dt={dt})")
+        self._now += float(dt)
+        return self._now
+
+
+@dataclass
+class NodeRecord:
+    """Everything the registry knows about one node agent."""
+
+    node_id: str
+    address: str
+    services: Tuple[str, ...]
+    epoch: int
+    state: str = lifecycle.REGISTERED
+    registered_at: float = 0.0
+    last_heartbeat: float = 0.0
+    deadline: float = 0.0
+    missed: int = 0
+    policy_version: int = 0
+    #: Last reported per-service loads: {service: {"arrival_rps", "utilization",
+    #: "backlog"}}. Empty until the first heartbeat carries telemetry.
+    loads: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable snapshot (for ``status`` RPC responses)."""
+        return {
+            "node_id": self.node_id,
+            "address": self.address,
+            "services": list(self.services),
+            "epoch": self.epoch,
+            "state": self.state,
+            "registered_at": self.registered_at,
+            "last_heartbeat": self.last_heartbeat,
+            "deadline": self.deadline,
+            "missed": self.missed,
+            "policy_version": self.policy_version,
+        }
+
+
+class NodeRegistry:
+    """Thread-safe lifecycle bookkeeping for a fleet of node agents."""
+
+    def __init__(
+        self,
+        heartbeat_interval_s: float = 1.0,
+        degraded_after: int = 1,
+        offline_after: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+        trace: TraceSink = NULL_SINK,
+    ):
+        if heartbeat_interval_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval_s must be > 0, got {heartbeat_interval_s}"
+            )
+        if not 1 <= degraded_after < offline_after:
+            raise ConfigurationError(
+                "need 1 <= degraded_after < offline_after so a node always "
+                f"passes through degraded, got degraded_after={degraded_after} "
+                f"offline_after={offline_after}"
+            )
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.degraded_after = int(degraded_after)
+        self.offline_after = int(offline_after)
+        self._clock = clock
+        self._trace = trace
+        self._lock = threading.RLock()
+        self._nodes: Dict[str, NodeRecord] = {}
+        self._next_epoch = 0
+        self._version = 0
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self, node_id: str, address: str, services: Sequence[str]
+    ) -> NodeRecord:
+        """Admit (or re-admit) a node; returns its record with a fresh epoch.
+
+        Re-registering a known node id — whether it deregistered, went
+        offline, or is still nominally healthy — always grants a fresh
+        epoch, invalidating heartbeats from the prior incarnation.
+        """
+        if not node_id:
+            raise ControlPlaneError("node_id must be a non-empty string")
+        if not services:
+            raise ControlPlaneError(f"node {node_id!r} registered with no services")
+        with self._lock:
+            now = self._clock()
+            self._next_epoch += 1
+            record = NodeRecord(
+                node_id=node_id,
+                address=address,
+                services=tuple(services),
+                epoch=self._next_epoch,
+                state=lifecycle.REGISTERED,
+                registered_at=now,
+                last_heartbeat=now,
+                deadline=now + self.heartbeat_interval_s,
+            )
+            previous = self._nodes.get(node_id)
+            self._nodes[node_id] = record
+            self._version += 1
+            if self._trace.enabled:
+                self._trace.emit(
+                    make_event(
+                        "node_registered", -1,
+                        node_id=node_id,
+                        address=address,
+                        services=list(record.services),
+                        epoch=record.epoch,
+                    )
+                )
+                if previous is not None:
+                    self._trace.emit(
+                        make_event(
+                            "node_state_change", -1,
+                            node_id=node_id,
+                            epoch=record.epoch,
+                            from_state=previous.state,
+                            to_state=record.state,
+                            version=self._version,
+                            reason="register",
+                        )
+                    )
+            return record
+
+    def deregister(self, node_id: str, epoch: Optional[int] = None) -> None:
+        """Remove a node from service; its entry becomes terminal."""
+        with self._lock:
+            record = self._require(node_id, epoch)
+            self._transition(record, "deregister")
+
+    # ------------------------------------------------------------------ #
+    # liveness
+    # ------------------------------------------------------------------ #
+    def heartbeat(
+        self,
+        node_id: str,
+        epoch: int,
+        loads: Optional[Dict[str, Dict[str, float]]] = None,
+        policy_version: Optional[int] = None,
+    ) -> str:
+        """Record a liveness report; returns the node's (new) state.
+
+        Rejects unknown nodes, deregistered nodes, and stale epochs with
+        :class:`~repro.errors.ControlPlaneError` — the caller (a node
+        agent) should re-register on rejection.
+        """
+        with self._lock:
+            record = self._require(node_id, epoch)
+            now = self._clock()
+            record.last_heartbeat = now
+            record.missed = 0
+            # Monotonic: a heartbeat never pulls an already-later deadline
+            # back, so missed ticks stay missed.
+            record.deadline = max(
+                record.deadline, now + self.heartbeat_interval_s
+            )
+            if loads is not None:
+                record.loads = {
+                    str(svc): {k: float(v) for k, v in fields.items()}
+                    for svc, fields in loads.items()
+                }
+            if policy_version is not None:
+                record.policy_version = int(policy_version)
+            self._transition(record, "heartbeat")
+            return record.state
+
+    def sweep(self, now: Optional[float] = None) -> List[str]:
+        """Account for every deadline that has passed; returns changed ids.
+
+        Each expired deadline counts as one missed tick and advances the
+        deadline by one interval, so a sweep after a long stall escalates
+        a node through ``degraded`` into ``offline`` in a single call —
+        but never skips ``degraded``: the thresholds satisfy
+        ``degraded_after < offline_after``, and the state machine itself
+        only steps one state per deadline event.
+        """
+        changed: List[str] = []
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            for record in self._nodes.values():
+                before = record.state
+                while (
+                    record.state in lifecycle.ACTIVE_STATES
+                    and record.deadline <= now
+                ):
+                    record.missed += 1
+                    record.deadline += self.heartbeat_interval_s
+                    if self._trace.enabled:
+                        self._trace.emit(
+                            make_event(
+                                "heartbeat_missed", -1,
+                                node_id=record.node_id,
+                                epoch=record.epoch,
+                                missed=record.missed,
+                                state=record.state,
+                            )
+                        )
+                    if (
+                        record.state in (lifecycle.REGISTERED, lifecycle.HEALTHY)
+                        and record.missed >= self.degraded_after
+                    ):
+                        self._transition(record, "deadline")
+                    elif (
+                        record.state == lifecycle.DEGRADED
+                        and record.missed >= self.offline_after
+                    ):
+                        self._transition(record, "deadline")
+                if record.state != before:
+                    changed.append(record.node_id)
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped on every membership/state change."""
+        with self._lock:
+            return self._version
+
+    def get(self, node_id: str) -> Optional[NodeRecord]:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    def records(self) -> List[NodeRecord]:
+        """Every record, registration order (includes deregistered)."""
+        with self._lock:
+            return list(self._nodes.values())
+
+    def active_records(self) -> List[NodeRecord]:
+        """Records the coordinator still routes to (not offline/terminal)."""
+        with self._lock:
+            return [
+                r for r in self._nodes.values()
+                if r.state in lifecycle.SERVING_STATES
+            ]
+
+    def set_policy_version(self, node_id: str, version: int) -> None:
+        """Record that a node confirmed running policy ``version``."""
+        with self._lock:
+            record = self._require(node_id, None)
+            record.policy_version = int(version)
+
+    def loads(
+        self, services: Sequence[str], records: Optional[List[NodeRecord]] = None
+    ) -> Tuple[List[str], NodeLoads]:
+        """The serving fleet as balancer feedback.
+
+        Returns the serving node ids (stable registration order) and a
+        :class:`~repro.cluster.balancer.NodeLoads` whose ``degraded``
+        mask marks nodes in the ``degraded`` lifecycle state, so
+        :func:`~repro.cluster.balancer._shed_degraded` moves traffic off
+        them exactly like an in-simulation faulted node.
+        """
+        with self._lock:
+            if records is None:
+                records = self.active_records()
+            n, s = len(records), len(services)
+            arrival = np.zeros((n, s))
+            util = np.zeros((n, s))
+            backlog = np.zeros((n, s))
+            degraded = np.zeros(n, dtype=bool)
+            for i, record in enumerate(records):
+                degraded[i] = record.state == lifecycle.DEGRADED
+                for j, svc in enumerate(services):
+                    fields = record.loads.get(svc)
+                    if fields is None:
+                        continue
+                    arrival[i, j] = fields.get("arrival_rps", 0.0)
+                    util[i, j] = fields.get("utilization", 0.0)
+                    backlog[i, j] = fields.get("backlog", 0.0)
+            node_ids = [r.node_id for r in records]
+            return node_ids, NodeLoads(
+                arrival_rps=arrival,
+                utilization=util,
+                backlog=backlog,
+                degraded=degraded,
+            )
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-serialisable fleet snapshot with per-state counts."""
+        with self._lock:
+            nodes = [r.to_dict() for r in self._nodes.values()]
+            counts = {state: 0 for state in lifecycle.NODE_STATES}
+            for record in self._nodes.values():
+                counts[record.state] += 1
+            return {
+                "version": self._version,
+                "heartbeat_interval_s": self.heartbeat_interval_s,
+                "degraded_after": self.degraded_after,
+                "offline_after": self.offline_after,
+                "counts": counts,
+                "nodes": nodes,
+            }
+
+    # ------------------------------------------------------------------ #
+    # internals (call with the lock held)
+    # ------------------------------------------------------------------ #
+    def _require(self, node_id: str, epoch: Optional[int]) -> NodeRecord:
+        record = self._nodes.get(node_id)
+        if record is None:
+            raise ControlPlaneError(f"unknown node {node_id!r}; register first")
+        if record.state == lifecycle.DEREGISTERED:
+            raise ControlPlaneError(
+                f"node {node_id!r} is deregistered; re-register for a fresh epoch"
+            )
+        if epoch is not None and int(epoch) != record.epoch:
+            raise ControlPlaneError(
+                f"stale epoch {epoch} for node {node_id!r} "
+                f"(current epoch {record.epoch}); re-register"
+            )
+        return record
+
+    def _transition(self, record: NodeRecord, event: str) -> None:
+        new_state = lifecycle.next_state(record.state, event)
+        if new_state is None or new_state == record.state:
+            return
+        from_state = record.state
+        record.state = new_state
+        if new_state == lifecycle.HEALTHY:
+            record.missed = 0
+        self._version += 1
+        if self._trace.enabled:
+            self._trace.emit(
+                make_event(
+                    "node_state_change", -1,
+                    node_id=record.node_id,
+                    epoch=record.epoch,
+                    from_state=from_state,
+                    to_state=new_state,
+                    version=self._version,
+                    reason=event,
+                )
+            )

@@ -44,7 +44,11 @@ down by :meth:`close` (or interpreter exit).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
+import os
+import signal
+import threading
 import time as _time
 import traceback
 from multiprocessing import shared_memory
@@ -153,8 +157,51 @@ def _shard_worker(
     qos_targets: Optional[Dict[str, float]],
     lo: int,
     hi: int,
+    parent_pid: int,
 ) -> None:
     """Worker loop: build nodes ``lo..hi-1``, then serve parent commands."""
+    # The parent tears workers down with terminate() (SIGTERM) when the
+    # close handshake stalls, and multiprocessing terminates daemonic
+    # children the same way at interpreter exit. The default SIGTERM
+    # disposition would kill the process without running the finally
+    # below; turning it into SystemExit lets the shared block detach
+    # cleanly on every exit path.
+    def _graceful_term(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _graceful_term)
+    # A worker cannot rely on EOF to notice the parent dying: with the
+    # fork start method every child inherits the parent-side pipe fds
+    # created before its fork (including its own pipe's), so conn.recv()
+    # blocks forever after a SIGKILLed parent — and the shared segment
+    # would stay pinned in /dev/shm. Poll the parent pid instead and turn
+    # reparenting into the same SIGTERM -> SystemExit path.
+    # parent_pid was captured by the parent *before* the fork: reading
+    # os.getppid() here races the parent's death — a child scheduled
+    # late enough is already reparented and would record pid 1 as its
+    # "parent", disarming the watchdog forever.
+    main_thread = threading.get_ident()
+
+    def _watch_parent() -> None:
+        while True:
+            if os.getppid() != parent_pid:
+                try:
+                    signal.pthread_kill(main_thread, signal.SIGTERM)
+                except OSError:  # pragma: no cover - main thread already gone
+                    pass
+                return
+            _time.sleep(0.5)
+
+    # The signal must land on the *main* thread: delivered to the watchdog
+    # (the kernel picks any unmasked thread for process-directed signals,
+    # and pthread_kill from the watchdog to itself would be worse) CPython
+    # only sets its pending flag — the main thread stays blocked in
+    # conn.recv() and the Python-level handler never runs. Mask SIGTERM
+    # while spawning so the watchdog inherits the block, leaving the main
+    # thread as the only delivery target.
+    signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGTERM})
+    threading.Thread(target=_watch_parent, daemon=True).start()
+    signal.pthread_sigmask(signal.SIG_UNBLOCK, {signal.SIGTERM})
     # Attaching re-registers the name with the resource tracker, but the
     # tracker process (and its name cache, a set) is shared with the
     # parent, so the duplicate collapses and the parent's unlink() both
@@ -211,7 +258,7 @@ def _shard_worker(
                     conn.send(("err", (RuntimeError(f"unknown command {cmd!r}"), "")))
             except Exception as exc:  # surface worker failures in the parent
                 conn.send(("err", (exc, traceback.format_exc())))
-    except (EOFError, KeyboardInterrupt):  # parent died; just exit
+    except (EOFError, KeyboardInterrupt, SystemExit):  # parent died / SIGTERM
         pass
     finally:
         shm.close()
@@ -315,6 +362,7 @@ class ShardedClusterEnvironment:
                         qos_targets or None,
                         bounds[w],
                         bounds[w + 1],
+                        os.getpid(),
                     ),
                     daemon=True,
                 )
@@ -325,6 +373,11 @@ class ShardedClusterEnvironment:
         except Exception:
             self.close()
             raise
+        # A parent that exits (sys.exit, an uncaught exception, falling
+        # off main) without calling close() must still unlink the
+        # segment: /dev/shm is not reclaimed on process death. close()
+        # unregisters the hook, so the common path pays nothing at exit.
+        atexit.register(self.close)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -448,6 +501,7 @@ class ShardedClusterEnvironment:
         if self._closed:
             return
         self._closed = True
+        atexit.unregister(self.close)
         for conn in self._conns:
             try:
                 conn.send(("close", None))
@@ -473,6 +527,14 @@ class ShardedClusterEnvironment:
             pass
 
     def __del__(self):  # best-effort; close() is the supported path
+        # During interpreter shutdown module globals may already have
+        # been torn down (set to None); the atexit hook registered in
+        # __init__ has then done — or will do — the real cleanup, and
+        # calling close() here would only raise into the finalizer.
+        if atexit is None or shared_memory is None:
+            return
+        if getattr(self, "_closed", True):
+            return
         try:
             self.close()
         except Exception:

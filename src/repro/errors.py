@@ -31,6 +31,35 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent internal state."""
 
 
+class ControlPlaneError(ReproError):
+    """A control-plane operation failed (registry, lifecycle, rollout).
+
+    Raised by :mod:`repro.ctrl` for domain-level failures: unknown or
+    deregistered nodes, stale registration epochs (split-registry
+    guards), illegal lifecycle transitions, and policy rollouts that
+    cannot proceed. Transport-level failures raise :class:`RpcError`.
+    """
+
+
+class RpcError(ControlPlaneError):
+    """A JSON-RPC call failed: transport, protocol, or remote error.
+
+    Client-side, a remote error response is surfaced as the
+    :class:`repro.ctrl.rpc.RpcRemoteError` subclass carrying the
+    JSON-RPC error code; connection drops and malformed frames raise
+    this class directly.
+    """
+
+
+class RpcTimeout(RpcError):
+    """A JSON-RPC call did not complete within its deadline.
+
+    Every :meth:`repro.ctrl.rpc.RpcClient.call` is bounded — a hung or
+    partitioned peer turns into this exception, never an indefinite
+    block.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint file is unreadable, truncated, or incompatible.
 

@@ -91,6 +91,13 @@ class HierConfig:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
         if self.num_nodes < 1:
             raise ConfigurationError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.engine == "shard" and self.workers > self.num_nodes:
+            raise ConfigurationError(
+                f"workers={self.workers} exceeds num_nodes={self.num_nodes}: "
+                f"each shard worker owns at least one node, so at most "
+                f"{self.num_nodes} workers can do useful work — lower "
+                f"--workers or raise --nodes"
+            )
         if self.steps < 1:
             raise ConfigurationError(f"steps must be >= 1, got {self.steps}")
         if self.balancer not in BALANCER_POLICIES:

@@ -638,14 +638,28 @@ def run_experiments(
                 # A worker died hard (OOM kill, segfault, os._exit).
                 # Salvage everything that finished, then resubmit the rest
                 # to a fresh pool if the retry budget allows.
+                strict_failure: Optional[BaseException] = None
                 for experiment_id, future in futures.items():
                     if (
-                        experiment_id not in results
-                        and future.done()
-                        and not future.cancelled()
-                        and future.exception() is None
+                        experiment_id in results
+                        or not future.done()
+                        or future.cancelled()
                     ):
+                        continue
+                    exc = future.exception()
+                    if exc is None:
                         results[experiment_id] = future.result()
+                    elif strict and strict_failure is None and not isinstance(
+                        exc, BrokenProcessPool
+                    ):
+                        # A real strict-mode failure (its manifest is
+                        # already written by the worker) must not be
+                        # masked as a crash or swallowed by a resubmit.
+                        strict_failure = exc
+                if strict_failure is not None:
+                    # Strict aborts return promptly: re-raise before any
+                    # pool-rebuild backoff sleep or resubmission.
+                    raise strict_failure
                 unfinished = [e for e in unfinished if e not in results]
                 pool_attempt += 1
                 if pool_attempt > retries:

@@ -188,6 +188,45 @@ EVENT_REGISTRY: Dict[str, EventSpec] = {
                                 "(0 on the first assignment)"),
         ),
         _spec(
+            "node_registered", "repro.ctrl.registry",
+            "A node agent (re-)registered with the coordinator and was "
+            "granted a registration epoch.",
+            ("node_id", "str", "Stable node identifier chosen by the agent"),
+            ("address", "str", "RPC address the agent serves on"),
+            ("services", "list", "Services the node's Twig instance manages"),
+            ("epoch", "int", "Registration epoch granted (bumps on re-register)"),
+        ),
+        _spec(
+            "heartbeat_missed", "repro.ctrl.registry",
+            "A node's heartbeat deadline passed without a liveness report.",
+            ("node_id", "str", "Node whose deadline expired"),
+            ("epoch", "int", "Registration epoch of the silent node"),
+            ("missed", "int", "Consecutive deadlines missed so far"),
+            ("state", "str", "Lifecycle state after accounting for the miss"),
+        ),
+        _spec(
+            "node_state_change", "repro.ctrl.registry",
+            "A node moved between lifecycle states "
+            "(registered/healthy/degraded/offline/deregistered).",
+            ("node_id", "str", "Node that transitioned"),
+            ("epoch", "int", "Registration epoch the transition applies to"),
+            ("from_state", "str", "State before the transition"),
+            ("to_state", "str", "State after the transition"),
+            ("version", "int", "Registry version after the transition"),
+            ("reason", "str", "What drove it (register, heartbeat, "
+                              "deadline, deregister)"),
+        ),
+        _spec(
+            "policy_rollout", "repro.ctrl.coordinator",
+            "The coordinator rolled a checkpointed policy onto the fleet's "
+            "healthy nodes.",
+            ("version", "int", "Policy version the rollout installed"),
+            ("source", "str", "Checkpoint path the policy came from"),
+            ("updated", "int", "Nodes that confirmed the new version"),
+            ("failed", "int", "Nodes that refused or could not be reached"),
+            ("nodes", "list", "Node ids that confirmed the new version"),
+        ),
+        _spec(
             "node_provisioned", "repro.hier.provision",
             "A freshly provisioned fleet received transferred leaf-policy "
             "weights from a checkpoint (trunk kept, heads re-randomized).",

@@ -1,0 +1,142 @@
+"""docs/control_plane.md must document exactly the control plane the code ships.
+
+Parses the lifecycle tables (states, transitions) and the two RPC method
+references (``### `method` `` headings followed by a
+``| `param` | type | description |`` table) and diffs them against
+``repro.ctrl.lifecycle`` / ``COORDINATOR_METHODS`` / ``NODE_METHODS``.
+Run via ``make docs-check`` (also part of the tier-1 suite).
+"""
+
+import re
+from pathlib import Path
+
+from repro.ctrl.coordinator import COORDINATOR_METHODS
+from repro.ctrl.lifecycle import NODE_STATES, TRANSITIONS
+from repro.ctrl.node_agent import NODE_METHODS
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "control_plane.md"
+
+_HEADING = re.compile(r"^### `([a-z_]+)`\s*$")
+_PARAM_ROW = re.compile(r"^\| `([a-z0-9_]+)` \| ([a-z]+) \|")
+_STATE_ROW = re.compile(r"^\| `([a-z]+)` \|")
+_TRANSITION_ROW = re.compile(r"^\| `([a-z]+)` \| `([a-z]+)` \| `([a-z]+)` \|$")
+
+_COORD_SECTION = "## Coordinator RPC reference"
+_NODE_SECTION = "## Node agent RPC reference"
+_LIFECYCLE_SECTION = "## Lifecycle state machine"
+
+
+def parse_methods(text, section):
+    """Return {method: {param: type}} for one RPC reference section."""
+    methods = {}
+    current = None
+    in_section = False
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == section
+            current = None
+            continue
+        if not in_section:
+            continue
+        heading = _HEADING.match(line)
+        if heading:
+            current = {}
+            methods[heading.group(1)] = current
+            continue
+        if current is None:
+            continue
+        row = _PARAM_ROW.match(line)
+        if row:
+            current[row.group(1)] = row.group(2)
+    return methods
+
+
+def parse_lifecycle(text):
+    """Return (states, transitions) from the lifecycle section's tables.
+
+    The states table lives under "### States" (one backticked state per
+    row), the transitions table under "### Transitions" (three backticked
+    cells per row: from, event, to).
+    """
+    states = []
+    transitions = {}
+    in_section = False
+    subsection = None
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == _LIFECYCLE_SECTION
+            subsection = None
+            continue
+        if not in_section:
+            continue
+        if line.startswith("### "):
+            subsection = line.strip()
+            continue
+        if subsection == "### Transitions":
+            row = _TRANSITION_ROW.match(line)
+            if row:
+                src, event, dst = row.groups()
+                transitions.setdefault(src, {})[event] = dst
+            continue
+        if subsection == "### States":
+            row = _STATE_ROW.match(line)
+            if row:
+                states.append(row.group(1))
+    return states, transitions
+
+
+def test_doc_exists():
+    assert DOC.exists(), "docs/control_plane.md is missing"
+
+
+def test_doc_states_match_lifecycle():
+    states, _ = parse_lifecycle(DOC.read_text())
+    assert tuple(states) == NODE_STATES, (
+        "states table in docs/control_plane.md disagrees with "
+        f"repro.ctrl.lifecycle.NODE_STATES: doc={states}, code={list(NODE_STATES)}"
+    )
+
+
+def test_doc_transitions_match_lifecycle():
+    _, transitions = parse_lifecycle(DOC.read_text())
+    # DEREGISTERED is terminal: the code records an empty row, the doc
+    # simply has no table rows for it.
+    code = {s: dict(ev) for s, ev in TRANSITIONS.items() if ev}
+    assert transitions == code, (
+        "transitions table in docs/control_plane.md disagrees with "
+        f"repro.ctrl.lifecycle.TRANSITIONS: doc={transitions}, code={code}"
+    )
+
+
+def _check_methods(section, registry, label):
+    documented = parse_methods(DOC.read_text(), section)
+    assert sorted(documented) == sorted(registry), (
+        f"{label} methods in docs/control_plane.md do not match the code: "
+        f"doc-only={sorted(set(documented) - set(registry))}, "
+        f"code-only={sorted(set(registry) - set(documented))}"
+    )
+    for name, spec in registry.items():
+        code_params = {p.name: p.type for p in spec.params}
+        assert documented[name] == code_params, (
+            f"param table for `{name}` ({label}) disagrees with the code: "
+            f"doc={documented[name]}, code={code_params}"
+        )
+
+
+def test_doc_coordinator_methods_match_code():
+    _check_methods(_COORD_SECTION, COORDINATOR_METHODS, "coordinator")
+
+
+def test_doc_node_methods_match_code():
+    _check_methods(_NODE_SECTION, NODE_METHODS, "node agent")
+
+
+def test_parser_actually_found_tables():
+    # Guard against the parsers silently matching nothing (which would
+    # make the diff tests vacuous if the doc layout changed).
+    text = DOC.read_text()
+    states, transitions = parse_lifecycle(text)
+    assert len(states) == 5
+    assert sum(len(ev) for ev in transitions.values()) >= 10
+    assert len(parse_methods(text, _COORD_SECTION)) >= 5
+    assert len(parse_methods(text, _NODE_SECTION)) >= 5

@@ -1,0 +1,258 @@
+"""End to end: a coordinator and 8 in-process node agents through churn.
+
+The ISSUE acceptance scenario: node loss mid-heartbeat escalates
+degraded -> offline and sheds traffic; a rolling policy update from a
+trained checkpoint reaches every healthy node with version
+confirmation; a torn checkpoint is refused without disturbing the
+serving policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TwigConfig
+from repro.core.twig import Twig
+from repro.ctrl.coordinator import Coordinator
+from repro.ctrl.node_agent import TwigNodeAgent
+from repro.ctrl.registry import ManualClock
+from repro.ctrl.rpc import SERVER_ERROR, RpcClient, RpcRemoteError
+from repro.errors import CheckpointError, ControlPlaneError
+from repro.experiments.common import make_environment
+from repro.obs.sink import MemorySink
+from repro.services.profiles import get_profile
+
+SERVICES = ["masstree", "xapian"]
+N_NODES = 8
+DEMAND = {"masstree": 4000.0, "xapian": 1200.0}
+
+
+@pytest.fixture()
+def fleet():
+    """A coordinator (manual clock) with 8 joined node agents."""
+    clock = ManualClock()
+    trace = MemorySink(validate=True)
+    coordinator = Coordinator(
+        SERVICES,
+        heartbeat_interval_s=1.0,
+        degraded_after=1,
+        offline_after=3,
+        seed=5,
+        clock=clock,
+        trace=trace,
+    )
+    agents = []
+    try:
+        for i in range(N_NODES):
+            agent = TwigNodeAgent(f"node-{i}", SERVICES, seed=100 + i)
+            agent.join(coordinator.address)
+            agents.append(agent)
+        yield coordinator, agents, clock, trace
+    finally:
+        for agent in agents:
+            agent.close()
+        coordinator.close()
+
+
+def beat_all(agents, skip=()):
+    for agent in agents:
+        if agent.node_id not in skip:
+            agent.heartbeat_once()
+
+
+def states(coordinator):
+    return {
+        record.node_id: record.state
+        for record in coordinator.registry.records()
+    }
+
+
+def train_checkpoint(tmp_path, name="policy.npz", steps=3):
+    twig = Twig(
+        [get_profile(s) for s in SERVICES],
+        TwigConfig.fast(),
+        np.random.default_rng(321),
+    )
+    env = make_environment(SERVICES, [0.5, 0.4], seed=77)
+    assignments = twig.initial_assignments()
+    for _ in range(steps):
+        assignments = twig.update(env.step(assignments))
+    path = tmp_path / name
+    twig.save(path)
+    return path
+
+
+def test_fleet_registers_and_serves(fleet):
+    coordinator, agents, clock, _ = fleet
+    beat_all(agents)
+    assert all(state == "healthy" for state in states(coordinator).values())
+
+    with RpcClient(coordinator.address, timeout_s=10.0) as cli:
+        status = cli.call("status")
+        assert status["counts"]["healthy"] == N_NODES
+        allocation = cli.call("allocate", {"demand": DEMAND})
+    assert set(allocation["nodes"]) == {a.node_id for a in agents}
+    for svc, total in DEMAND.items():
+        spread = sum(rates[svc] for rates in allocation["nodes"].values())
+        assert spread == pytest.approx(total, rel=1e-6)
+
+
+def test_node_loss_degrades_then_offlines_and_sheds_traffic(fleet):
+    coordinator, agents, clock, trace = fleet
+    beat_all(agents)
+    lost = agents[3].node_id
+
+    # The lost agent stops heartbeating mid-flight; everyone else keeps
+    # beating. One missed deadline -> degraded.
+    clock.advance(1.5)
+    beat_all(agents, skip={lost})
+    coordinator.registry.sweep()
+    assert states(coordinator)[lost] == "degraded"
+
+    # Degraded nodes stay in the topology but shed traffic.
+    with RpcClient(coordinator.address, timeout_s=10.0) as cli:
+        allocation = cli.call("allocate", {"demand": DEMAND})
+        assert lost in allocation["nodes"]
+        assert all(
+            rate == 0.0 for rate in allocation["nodes"][lost].values()
+        )
+        for svc, total in DEMAND.items():
+            spread = sum(r[svc] for r in allocation["nodes"].values())
+            assert spread == pytest.approx(total, rel=1e-6)
+
+        # Two more missed deadlines -> offline: out of the topology.
+        for _ in range(2):
+            clock.advance(1.0)
+            beat_all(agents, skip={lost})
+        coordinator.registry.sweep()
+        assert states(coordinator)[lost] == "offline"
+        allocation = cli.call("allocate", {"demand": DEMAND})
+    assert lost not in allocation["nodes"]
+    assert len(allocation["nodes"]) == N_NODES - 1
+    for svc, total in DEMAND.items():
+        spread = sum(r[svc] for r in allocation["nodes"].values())
+        assert spread == pytest.approx(total, rel=1e-6)
+
+    # The event stream shows the full escalation, never skipping degraded.
+    changes = [
+        (e["from_state"], e["to_state"])
+        for e in trace.events
+        if e["ev"] == "node_state_change" and e["node_id"] == lost
+    ]
+    assert ("healthy", "degraded") in changes
+    assert ("degraded", "offline") in changes
+
+    # A recovered heartbeat brings the node back into service.
+    agents[3].heartbeat_once()
+    assert states(coordinator)[lost] == "healthy"
+    with RpcClient(coordinator.address, timeout_s=10.0) as cli:
+        allocation = cli.call("allocate", {"demand": DEMAND})
+    assert lost in allocation["nodes"]
+
+
+def test_rolling_update_reaches_all_healthy_nodes(fleet, tmp_path):
+    coordinator, agents, clock, trace = fleet
+    beat_all(agents)
+    # One node is offline during the rollout: it must be skipped.
+    lost = agents[0].node_id
+    clock.advance(5.0)
+    beat_all(agents, skip={lost})
+    coordinator.registry.sweep()
+    assert states(coordinator)[lost] == "offline"
+
+    path = train_checkpoint(tmp_path)
+    with RpcClient(coordinator.address, timeout_s=30.0) as cli:
+        report = cli.call("rollout", {"path": str(path)}, timeout_s=60.0)
+    assert report["version"] == 1
+    healthy = {a.node_id for a in agents} - {lost}
+    assert set(report["updated"]) == healthy
+    assert set(report["targets"]) == healthy
+    assert report["failed"] == {}
+    for agent in agents:
+        expected = 0 if agent.node_id == lost else 1
+        assert agent.policy_version == expected
+    # Version confirmations are recorded in the registry.
+    for record in coordinator.registry.records():
+        expected = 0 if record.node_id == lost else 1
+        assert record.policy_version == expected
+    assert coordinator.policy_version == 1
+    rollouts = [e for e in trace.events if e["ev"] == "policy_rollout"]
+    assert len(rollouts) == 1
+    assert rollouts[0]["updated"] == len(healthy)
+    assert rollouts[0]["failed"] == 0
+
+    # A second rollout advances the version on the same fleet.
+    with RpcClient(coordinator.address, timeout_s=30.0) as cli:
+        report = cli.call("rollout", {"path": str(path)}, timeout_s=60.0)
+    assert report["version"] == 2
+    assert set(report["updated"]) == healthy
+
+
+def test_torn_checkpoint_refused_without_disturbing_policy(fleet, tmp_path):
+    coordinator, agents, clock, _ = fleet
+    beat_all(agents)
+    path = train_checkpoint(tmp_path)
+
+    # Establish a serving policy first.
+    coordinator.rollout(str(path))
+    assert coordinator.policy_version == 1
+
+    torn = tmp_path / "torn.npz"
+    data = path.read_bytes()
+    torn.write_bytes(data[: len(data) // 2])
+
+    # Direct call: staging raises before any node is contacted.
+    with pytest.raises(CheckpointError):
+        coordinator.rollout(str(torn))
+    # Over the wire the same refusal is a SERVER_ERROR.
+    with RpcClient(coordinator.address, timeout_s=30.0) as cli:
+        with pytest.raises(RpcRemoteError) as err:
+            cli.call("rollout", {"path": str(torn)}, timeout_s=60.0)
+    assert err.value.code == SERVER_ERROR
+
+    # Nothing moved: fleet and nodes still serve version 1.
+    assert coordinator.policy_version == 1
+    assert coordinator.policy_source == str(path)
+    for agent in agents:
+        assert agent.policy_version == 1
+    # And the fleet still allocates.
+    with RpcClient(coordinator.address, timeout_s=10.0) as cli:
+        allocation = cli.call("allocate", {"demand": DEMAND})
+    assert len(allocation["nodes"]) == N_NODES
+
+
+def test_non_advancing_rollout_version_refused(fleet, tmp_path):
+    coordinator, agents, _, _ = fleet
+    beat_all(agents)
+    path = train_checkpoint(tmp_path)
+    coordinator.rollout(str(path), version=3)
+    with pytest.raises(ControlPlaneError):
+        coordinator.rollout(str(path), version=3)
+    assert coordinator.policy_version == 3
+
+
+def test_mixed_service_fleet_rejected(fleet):
+    coordinator, _, _, _ = fleet
+    with TwigNodeAgent("alien", ["moses"], seed=9) as alien:
+        with pytest.raises(RpcRemoteError) as err:
+            alien.join(coordinator.address)
+    assert err.value.code == SERVER_ERROR
+
+
+def test_restarted_agent_rejoins_with_fresh_epoch(fleet):
+    coordinator, agents, _, _ = fleet
+    beat_all(agents)
+    agent = agents[5]
+    old_epoch = agent.epoch
+    # Simulated restart: the same node id joins again.
+    new_epoch = agent.join(coordinator.address)
+    assert new_epoch > old_epoch
+    assert agent.heartbeat_once() == "healthy"
+
+
+def test_allocate_with_no_serving_nodes_is_a_clean_error():
+    clock = ManualClock()
+    with Coordinator(SERVICES, clock=clock) as coordinator:
+        with RpcClient(coordinator.address, timeout_s=10.0) as cli:
+            with pytest.raises(RpcRemoteError) as err:
+                cli.call("allocate", {"demand": DEMAND})
+    assert err.value.code == SERVER_ERROR

@@ -1,0 +1,177 @@
+"""Property tests for the node lifecycle state machine.
+
+The two properties ISSUE acceptance leans on: no transition path skips
+``degraded`` on the way to ``offline``, and a re-register after
+deregister always grants a fresh epoch.
+"""
+
+import itertools
+
+import pytest
+
+from repro.ctrl.lifecycle import (
+    ACTIVE_STATES,
+    DEGRADED,
+    DEREGISTERED,
+    HEALTHY,
+    LIFECYCLE_EVENTS,
+    NODE_STATES,
+    OFFLINE,
+    REGISTERED,
+    SERVING_STATES,
+    TRANSITIONS,
+    next_state,
+)
+from repro.ctrl.registry import ManualClock, NodeRegistry
+from repro.errors import ConfigurationError, ControlPlaneError
+
+
+# --------------------------------------------------------------------- #
+# static structure
+# --------------------------------------------------------------------- #
+def test_every_state_has_a_transition_row():
+    assert set(TRANSITIONS) == set(NODE_STATES)
+
+
+def test_deregistered_is_terminal():
+    assert TRANSITIONS[DEREGISTERED] == {}
+    for event in LIFECYCLE_EVENTS:
+        assert next_state(DEREGISTERED, event) is None
+
+
+def test_all_transition_targets_are_known_states():
+    for state, events in TRANSITIONS.items():
+        for event, target in events.items():
+            assert event in LIFECYCLE_EVENTS, (state, event)
+            assert target in NODE_STATES, (state, event, target)
+
+
+def test_unknown_state_and_event_rejected():
+    with pytest.raises(KeyError):
+        next_state("zombie", "heartbeat")
+    with pytest.raises(ValueError):
+        next_state(HEALTHY, "reboot")
+
+
+# --------------------------------------------------------------------- #
+# property: offline is only reachable through degraded
+# --------------------------------------------------------------------- #
+def test_no_single_transition_skips_degraded():
+    # The only edge into OFFLINE is DEGRADED --deadline--> OFFLINE.
+    into_offline = [
+        (state, event)
+        for state, events in TRANSITIONS.items()
+        for event, target in events.items()
+        if target == OFFLINE
+    ]
+    assert into_offline == [(DEGRADED, "deadline")]
+
+
+def test_every_event_path_to_offline_passes_through_degraded():
+    # Brute-force every event sequence up to length 5 from every start
+    # state: any walk that reaches OFFLINE must have visited DEGRADED.
+    for start in NODE_STATES:
+        for length in range(1, 6):
+            for events in itertools.product(LIFECYCLE_EVENTS, repeat=length):
+                state = start
+                visited = [state]
+                for event in events:
+                    nxt = next_state(state, event)
+                    if nxt is not None:
+                        state = nxt
+                    visited.append(state)
+                if state == OFFLINE and start != OFFLINE:
+                    assert DEGRADED in visited, (start, events, visited)
+
+
+def test_deadline_moves_at_most_one_step_toward_offline():
+    order = {REGISTERED: 0, HEALTHY: 0, DEGRADED: 1, OFFLINE: 2}
+    for state in (REGISTERED, HEALTHY, DEGRADED):
+        target = next_state(state, "deadline")
+        assert order[target] == order[state] + 1, (state, target)
+
+
+def test_heartbeat_always_recovers_to_healthy():
+    for state in NODE_STATES:
+        if state == DEREGISTERED:
+            continue
+        assert next_state(state, "heartbeat") == HEALTHY
+
+
+def test_serving_and_active_states_exclude_offline_and_terminal():
+    assert OFFLINE not in SERVING_STATES
+    assert DEREGISTERED not in SERVING_STATES
+    assert OFFLINE not in ACTIVE_STATES
+    assert DEREGISTERED not in ACTIVE_STATES
+
+
+# --------------------------------------------------------------------- #
+# property: registry sweeps honour the no-skip invariant
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("degraded_after,offline_after", [(1, 2), (1, 3), (2, 5)])
+def test_sweep_never_skips_degraded_even_after_a_long_stall(
+    degraded_after, offline_after
+):
+    # A node that stalls for long enough to be offline must still pass
+    # through degraded — visible in the state-change event stream.
+    from repro.obs.sink import MemorySink
+
+    clock = ManualClock()
+    trace = MemorySink(validate=True)
+    registry = NodeRegistry(
+        heartbeat_interval_s=1.0,
+        degraded_after=degraded_after,
+        offline_after=offline_after,
+        clock=clock,
+        trace=trace,
+    )
+    record = registry.register("n0", "127.0.0.1:1", ["masstree"])
+    registry.heartbeat("n0", record.epoch)
+    clock.advance(1000.0)  # miles past every threshold
+    registry.sweep()
+    assert registry.get("n0").state == OFFLINE
+    changes = [
+        (e["from_state"], e["to_state"])
+        for e in trace.events
+        if e["ev"] == "node_state_change"
+    ]
+    assert (HEALTHY, DEGRADED) in changes
+    assert (DEGRADED, OFFLINE) in changes
+    assert changes.index((HEALTHY, DEGRADED)) < changes.index((DEGRADED, OFFLINE))
+
+
+def test_registry_rejects_threshold_inversion():
+    for degraded_after, offline_after in [(0, 3), (3, 3), (4, 2)]:
+        with pytest.raises(ConfigurationError):
+            NodeRegistry(
+                degraded_after=degraded_after, offline_after=offline_after
+            )
+
+
+# --------------------------------------------------------------------- #
+# property: re-registration grants a fresh epoch
+# --------------------------------------------------------------------- #
+def test_reregister_after_deregister_gets_fresh_epoch():
+    clock = ManualClock()
+    registry = NodeRegistry(clock=clock)
+    first = registry.register("n0", "127.0.0.1:1", ["masstree"])
+    registry.deregister("n0", epoch=first.epoch)
+    with pytest.raises(ControlPlaneError):
+        registry.heartbeat("n0", first.epoch)  # terminal until re-register
+    second = registry.register("n0", "127.0.0.1:2", ["masstree"])
+    assert second.epoch > first.epoch
+    assert second.state == REGISTERED
+    # The old incarnation's epoch stays dead.
+    with pytest.raises(ControlPlaneError):
+        registry.heartbeat("n0", first.epoch)
+    assert registry.heartbeat("n0", second.epoch) == HEALTHY
+
+
+def test_epochs_are_unique_across_nodes_and_reregisters():
+    registry = NodeRegistry(clock=ManualClock())
+    epochs = []
+    for i in range(3):
+        for node in ("a", "b"):
+            epochs.append(registry.register(node, f"addr:{i}", ["x"]).epoch)
+    assert len(set(epochs)) == len(epochs)
+    assert epochs == sorted(epochs)

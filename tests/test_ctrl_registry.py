@@ -1,0 +1,191 @@
+"""NodeRegistry: clock-driven sweeps, epoch guards, balancer feedback."""
+
+import numpy as np
+import pytest
+
+from repro.ctrl.lifecycle import DEGRADED, HEALTHY, OFFLINE, REGISTERED
+from repro.ctrl.registry import ManualClock, NodeRegistry
+from repro.errors import ConfigurationError, ControlPlaneError
+from repro.obs.sink import MemorySink
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def registry(clock):
+    return NodeRegistry(
+        heartbeat_interval_s=1.0, degraded_after=1, offline_after=3, clock=clock
+    )
+
+
+def test_manual_clock_advances_and_rejects_rewind(clock):
+    assert clock() == 0.0
+    assert clock.advance(2.5) == 2.5
+    assert clock() == 2.5
+    with pytest.raises(ConfigurationError):
+        clock.advance(-0.1)
+
+
+def test_register_heartbeat_happy_path(registry, clock):
+    record = registry.register("n0", "127.0.0.1:9", ["masstree", "xapian"])
+    assert record.state == REGISTERED
+    assert record.epoch == 1
+    assert registry.heartbeat("n0", 1) == HEALTHY
+    clock.advance(0.5)
+    registry.sweep()
+    assert registry.get("n0").state == HEALTHY  # deadline not yet due
+
+
+def test_register_validates_inputs(registry):
+    with pytest.raises(ControlPlaneError):
+        registry.register("", "addr", ["svc"])
+    with pytest.raises(ControlPlaneError):
+        registry.register("n0", "addr", [])
+
+
+def test_heartbeat_unknown_node_rejected(registry):
+    with pytest.raises(ControlPlaneError):
+        registry.heartbeat("ghost", 1)
+
+
+def test_stale_epoch_rejected_after_restart(registry):
+    registry.register("n0", "addr", ["svc"])
+    fresh = registry.register("n0", "addr2", ["svc"])  # restarted node
+    with pytest.raises(ControlPlaneError):
+        registry.heartbeat("n0", 1)
+    assert registry.heartbeat("n0", fresh.epoch) == HEALTHY
+
+
+def test_missed_deadlines_escalate_step_by_step(registry, clock):
+    record = registry.register("n0", "addr", ["svc"])
+    registry.heartbeat("n0", record.epoch)
+    clock.advance(1.5)  # one deadline expired
+    assert registry.sweep() == ["n0"]
+    assert registry.get("n0").state == DEGRADED
+    clock.advance(1.0)  # second missed tick: still below offline_after=3
+    registry.sweep()
+    assert registry.get("n0").state == DEGRADED
+    clock.advance(1.0)  # third missed tick: offline
+    assert registry.sweep() == ["n0"]
+    assert registry.get("n0").state == OFFLINE
+    # Offline nodes stop accruing misses (no deadline event applies).
+    missed = registry.get("n0").missed
+    clock.advance(10.0)
+    registry.sweep()
+    assert registry.get("n0").missed == missed
+
+
+def test_heartbeat_recovers_degraded_and_offline(registry, clock):
+    record = registry.register("n0", "addr", ["svc"])
+    registry.heartbeat("n0", record.epoch)
+    clock.advance(10.0)
+    registry.sweep()
+    assert registry.get("n0").state == OFFLINE
+    assert registry.heartbeat("n0", record.epoch) == HEALTHY
+    assert registry.get("n0").missed == 0
+    # Deadline was re-armed from now: no immediate re-escalation.
+    assert registry.sweep() == []
+
+
+def test_deadlines_are_monotonic_under_heartbeat_bursts(registry, clock):
+    record = registry.register("n0", "addr", ["svc"])
+    registry.heartbeat("n0", record.epoch)
+    deadline = registry.get("n0").deadline
+    # Burst of heartbeats at the same instant must not rewind the deadline.
+    for _ in range(5):
+        registry.heartbeat("n0", record.epoch)
+    assert registry.get("n0").deadline == deadline
+    clock.advance(0.4)
+    registry.heartbeat("n0", record.epoch)
+    assert registry.get("n0").deadline == pytest.approx(deadline + 0.4)
+
+
+def test_version_bumps_on_every_transition(registry, clock):
+    v0 = registry.version
+    record = registry.register("n0", "addr", ["svc"])
+    v1 = registry.version
+    assert v1 > v0
+    registry.heartbeat("n0", record.epoch)  # registered -> healthy
+    v2 = registry.version
+    assert v2 > v1
+    registry.heartbeat("n0", record.epoch)  # healthy -> healthy: no-op
+    assert registry.version == v2
+    clock.advance(5.0)
+    registry.sweep()  # healthy -> degraded -> offline
+    assert registry.version >= v2 + 2
+
+
+def test_heartbeat_stores_loads_and_policy_version(registry):
+    record = registry.register("n0", "addr", ["masstree"])
+    registry.heartbeat(
+        "n0",
+        record.epoch,
+        loads={"masstree": {"arrival_rps": 120.0, "utilization": 0.7,
+                            "backlog": 3.0}},
+        policy_version=4,
+    )
+    stored = registry.get("n0")
+    assert stored.loads["masstree"]["arrival_rps"] == 120.0
+    assert stored.policy_version == 4
+
+
+def test_loads_exposes_degraded_mask_and_excludes_offline(registry, clock):
+    services = ["masstree", "xapian"]
+    epochs = {}
+    for node in ("a", "b", "c"):
+        epochs[node] = registry.register(node, f"{node}:1", services).epoch
+        registry.heartbeat(
+            node, epochs[node],
+            loads={"masstree": {"arrival_rps": 100.0, "utilization": 0.5,
+                                "backlog": 1.0}},
+        )
+    # b misses one deadline (degraded), c misses enough to go offline.
+    clock.advance(1.5)
+    registry.heartbeat("a", epochs["a"])
+    registry.sweep()
+    assert registry.get("b").state == DEGRADED
+    clock.advance(2.0)
+    registry.heartbeat("a", epochs["a"])
+    registry.heartbeat("b", epochs["b"])  # recover b ...
+    clock.advance(1.5)
+    registry.heartbeat("a", epochs["a"])
+    registry.sweep()  # ... then let b degrade again while c goes offline
+    assert registry.get("b").state == DEGRADED
+    assert registry.get("c").state == OFFLINE
+
+    node_ids, loads = registry.loads(services)
+    assert node_ids == ["a", "b"]  # offline c dropped from the topology
+    assert loads.arrival_rps.shape == (2, 2)
+    np.testing.assert_array_equal(loads.degraded, [False, True])
+    assert loads.arrival_rps[0, 0] == 100.0
+    assert loads.arrival_rps[0, 1] == 0.0  # xapian never reported
+
+
+def test_status_counts_states(registry, clock):
+    registry.register("n0", "a:1", ["svc"])
+    record = registry.register("n1", "a:2", ["svc"])
+    registry.heartbeat("n1", record.epoch)
+    status = registry.status()
+    assert status["counts"]["registered"] == 1
+    assert status["counts"]["healthy"] == 1
+    assert status["counts"]["offline"] == 0
+    assert {n["node_id"] for n in status["nodes"]} == {"n0", "n1"}
+    assert status["heartbeat_interval_s"] == 1.0
+    import json
+
+    json.dumps(status)  # must be JSON-serialisable for the status RPC
+
+
+def test_events_validate_against_schema(clock):
+    trace = MemorySink(validate=True)
+    registry = NodeRegistry(clock=clock, trace=trace)
+    record = registry.register("n0", "addr", ["svc"])
+    registry.heartbeat("n0", record.epoch)
+    clock.advance(10.0)
+    registry.sweep()
+    registry.deregister("n0")
+    kinds = {e["ev"] for e in trace.events}
+    assert kinds == {"node_registered", "node_state_change", "heartbeat_missed"}

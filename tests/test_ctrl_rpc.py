@@ -1,0 +1,281 @@
+"""The JSON-RPC layer: framing, correlation, timeouts, error mapping."""
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ctrl.rpc import (
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    SERVER_ERROR,
+    RpcClient,
+    RpcInvalidParams,
+    RpcMethodNotFound,
+    RpcRemoteError,
+    RpcServer,
+    parse_address,
+)
+from repro.errors import (
+    ConfigurationError,
+    ControlPlaneError,
+    RpcError,
+    RpcTimeout,
+)
+
+
+def echo_handler(method, params):
+    if method == "echo":
+        return params
+    if method == "add":
+        return params["a"] + params["b"]
+    if method == "boom":
+        raise ControlPlaneError("domain failure")
+    if method == "bug":
+        raise KeyError("oops")
+    if method == "bad_params":
+        raise RpcInvalidParams("need a frobnicator")
+    if method == "slow":
+        time.sleep(params.get("delay", 0.5))
+        return "done"
+    raise RpcMethodNotFound(f"unknown method {method!r}")
+
+
+@pytest.fixture()
+def server():
+    srv = RpcServer(echo_handler).start()
+    yield srv
+    srv.close()
+
+
+@pytest.fixture()
+def client(server):
+    with RpcClient(server.address, timeout_s=5.0) as cli:
+        yield cli
+
+
+# --------------------------------------------------------------------- #
+# addresses
+# --------------------------------------------------------------------- #
+def test_parse_address_tcp_and_unix():
+    assert parse_address("127.0.0.1:9000") == ("tcp", ("127.0.0.1", 9000))
+    assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+
+@pytest.mark.parametrize("bad", ["", "nohost", "host:port", "unix:", ":123", 7])
+def test_parse_address_rejects_garbage(bad):
+    with pytest.raises(ConfigurationError):
+        parse_address(bad)
+
+
+def test_server_reports_real_port():
+    srv = RpcServer(echo_handler)
+    try:
+        host, port = srv.address.rsplit(":", 1)
+        assert host == "127.0.0.1"
+        assert int(port) > 0
+    finally:
+        srv.close()
+
+
+# --------------------------------------------------------------------- #
+# round trips
+# --------------------------------------------------------------------- #
+def test_call_round_trip(client):
+    assert client.call("echo", {"x": 1, "y": [1, 2, 3]}) == {"x": 1, "y": [1, 2, 3]}
+    assert client.call("add", {"a": 2, "b": 40}) == 42
+
+
+def test_numpy_scalars_serialise(client):
+    result = client.call(
+        "echo",
+        {"i": np.int64(7), "f": np.float64(1.5), "b": np.bool_(True),
+         "arr": np.arange(3)},
+    )
+    assert result == {"i": 7, "f": 1.5, "b": True, "arr": [0, 1, 2]}
+
+
+def test_nan_telemetry_round_trips(client):
+    # A faulted node reports NaN p99; the degraded path depends on it
+    # surviving the wire.
+    result = client.call("echo", {"p99_ms": float("nan"), "inf": float("inf")})
+    assert np.isnan(result["p99_ms"])
+    assert np.isinf(result["inf"])
+
+
+def test_unix_socket_transport(tmp_path):
+    path = tmp_path / "rpc.sock"
+    srv = RpcServer(echo_handler, bind=f"unix:{path}").start()
+    try:
+        assert srv.address == f"unix:{path}"
+        with RpcClient(srv.address) as cli:
+            assert cli.call("add", {"a": 1, "b": 2}) == 3
+    finally:
+        srv.close()
+    assert not path.exists(), "unix socket file must be unlinked on close"
+
+
+def test_concurrent_calls_correlate_out_of_order(server):
+    # A slow call and fast calls share one client; ids keep them straight.
+    with RpcClient(server.address, timeout_s=10.0) as cli:
+        results = {}
+
+        def slow():
+            results["slow"] = cli.call("slow", {"delay": 0.4})
+
+        thread = threading.Thread(target=slow)
+        thread.start()
+        time.sleep(0.05)  # let the slow request hit the wire first
+        for i in range(5):
+            assert cli.call("add", {"a": i, "b": 1}) == i + 1
+        thread.join(5.0)
+        assert results["slow"] == "done"
+
+
+# --------------------------------------------------------------------- #
+# error mapping
+# --------------------------------------------------------------------- #
+def test_unknown_method_maps_to_method_not_found(client):
+    with pytest.raises(RpcRemoteError) as err:
+        client.call("nope")
+    assert err.value.code == METHOD_NOT_FOUND
+
+
+def test_invalid_params_code(client):
+    with pytest.raises(RpcRemoteError) as err:
+        client.call("bad_params")
+    assert err.value.code == INVALID_PARAMS
+
+
+def test_domain_error_maps_to_server_error(client):
+    with pytest.raises(RpcRemoteError) as err:
+        client.call("boom")
+    assert err.value.code == SERVER_ERROR
+    assert "domain failure" in str(err.value)
+
+
+def test_handler_bug_maps_to_internal_error_and_names_type(client):
+    with pytest.raises(RpcRemoteError) as err:
+        client.call("bug")
+    assert err.value.code == INTERNAL_ERROR
+    assert "KeyError" in str(err.value)
+
+
+def test_handler_bug_does_not_kill_the_server(client):
+    with pytest.raises(RpcRemoteError):
+        client.call("bug")
+    assert client.call("add", {"a": 1, "b": 1}) == 2
+
+
+# --------------------------------------------------------------------- #
+# raw-wire behaviour (bad frames, notifications)
+# --------------------------------------------------------------------- #
+def _raw_exchange(address, payload: bytes) -> dict:
+    host, port = address.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=5.0) as sock:
+        sock.sendall(payload)
+        line = sock.makefile("rb").readline()
+    return json.loads(line)
+
+
+def test_parse_error_frame(server):
+    response = _raw_exchange(server.address, b"this is not json\n")
+    assert response["error"]["code"] == PARSE_ERROR
+
+
+def test_invalid_request_frames(server):
+    response = _raw_exchange(server.address, b'{"id": 1, "method": "echo"}\n')
+    assert response["error"]["code"] == INVALID_REQUEST  # missing jsonrpc
+    response = _raw_exchange(
+        server.address, b'{"jsonrpc": "2.0", "id": 2, "method": 5}\n'
+    )
+    assert response["error"]["code"] == INVALID_REQUEST  # non-string method
+    response = _raw_exchange(
+        server.address,
+        b'{"jsonrpc": "2.0", "id": 3, "method": "echo", "params": [1]}\n',
+    )
+    assert response["error"]["code"] == INVALID_PARAMS  # non-object params
+
+
+def test_notification_gets_no_response_even_on_error(server):
+    host, port = server.address.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=5.0) as sock:
+        # No id => notification; the error is swallowed per spec, and the
+        # next real call still answers on the same connection.
+        sock.sendall(b'{"jsonrpc": "2.0", "method": "bug"}\n')
+        sock.sendall(
+            b'{"jsonrpc": "2.0", "id": 9, "method": "add",'
+            b' "params": {"a": 1, "b": 2}}\n'
+        )
+        response = json.loads(sock.makefile("rb").readline())
+    assert response["id"] == 9
+    assert response["result"] == 3
+
+
+def test_client_notify_is_fire_and_forget(client):
+    client.notify("bug")  # would raise server-side; no response expected
+    assert client.call("add", {"a": 5, "b": 5}) == 10
+
+
+# --------------------------------------------------------------------- #
+# timeouts and teardown
+# --------------------------------------------------------------------- #
+def test_call_timeout_raises_rpc_timeout(server):
+    with RpcClient(server.address, timeout_s=5.0) as cli:
+        with pytest.raises(RpcTimeout):
+            cli.call("slow", {"delay": 2.0}, timeout_s=0.1)
+        # The connection survives a timed-out call.
+        assert cli.call("add", {"a": 1, "b": 1}) == 2
+
+
+def test_nonpositive_timeouts_rejected(server):
+    with pytest.raises(ConfigurationError):
+        RpcClient(server.address, timeout_s=0)
+    with RpcClient(server.address) as cli:
+        with pytest.raises(ConfigurationError):
+            cli.call("echo", timeout_s=-1)
+
+
+def test_connect_to_dead_server_raises_rpc_error():
+    srv = RpcServer(echo_handler)
+    address = srv.address
+    srv.close()
+    with pytest.raises(RpcError):
+        RpcClient(address, timeout_s=0.5)
+
+
+def test_server_close_fails_inflight_calls_promptly(server):
+    cli = RpcClient(server.address, timeout_s=30.0)
+    errors = []
+
+    def waiter():
+        try:
+            cli.call("slow", {"delay": 30.0})
+        except RpcError as exc:  # includes RpcTimeout
+            errors.append(exc)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.1)
+    server.close()
+    thread.join(5.0)
+    assert not thread.is_alive(), "in-flight call must not hang on close"
+    assert errors and not isinstance(errors[0], RpcTimeout)
+    cli.close()
+
+
+def test_calls_after_close_raise(client):
+    client.close()
+    with pytest.raises(RpcError):
+        client.call("echo")
+
+
+def test_server_close_is_idempotent(server):
+    server.close()
+    server.close()

@@ -339,3 +339,136 @@ class TestExperimentConfigs:
             HierConfig(engine="scalar")
         with pytest.raises(ConfigurationError):
             HierConfig(engine="shard", workers=0)
+
+    def test_cluster_config_rejects_more_workers_than_nodes(self):
+        from repro.experiments.cluster import ClusterConfig
+
+        with pytest.raises(ConfigurationError, match="exceeds num_nodes"):
+            ClusterConfig(engine="shard", num_nodes=2, workers=3)
+        # The vector engine has no workers, so the check must not fire.
+        ClusterConfig(engine="vector", num_nodes=2, workers=3)
+
+    def test_hier_config_rejects_more_workers_than_nodes(self):
+        from repro.experiments.hier import HierConfig
+
+        with pytest.raises(ConfigurationError, match="exceeds num_nodes"):
+            HierConfig(engine="shard", num_nodes=2, workers=3)
+        HierConfig(engine="vector", num_nodes=2, workers=3)
+
+
+# A child script that creates a sharded environment, reports the shm
+# segment name on stdout, then idles (the test decides how it dies).
+_PARENT_SCRIPT = """
+import sys, time
+from repro.engine.sharded import ShardedClusterEnvironment
+
+venv = ShardedClusterEnvironment.from_services(
+    ["masstree", "xapian"], num_nodes=2, seed=3, workers=2
+)
+print(venv._shm.name, flush=True)
+mode = sys.argv[1]
+if mode == "exit-without-close":
+    sys.exit(0)  # atexit hook must unlink the segment
+# mode == "idle": wait to be killed from outside
+time.sleep(120)
+"""
+
+
+def _segment_path(name):
+    import pathlib
+
+    return pathlib.Path("/dev/shm") / name.lstrip("/")
+
+
+def _wait_for_unlink(name, timeout_s=30.0):
+    import time
+
+    path = _segment_path(name)
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if not path.exists():
+            return True
+        time.sleep(0.2)
+    return not path.exists()
+
+
+@pytest.mark.skipif(
+    not __import__("pathlib").Path("/dev/shm").is_dir(),
+    reason="needs a POSIX /dev/shm to observe segment lifetimes",
+)
+class TestSegmentLifecycle:
+    def test_close_unlinks_segment(self):
+        venv = _make_env("shard", num_nodes=2, workers=2)
+        name = venv._shm.name
+        assert _segment_path(name).exists()
+        venv.close()
+        assert not _segment_path(name).exists()
+        venv.close()  # idempotent
+
+    def test_parent_exit_without_close_unlinks_segment(self, tmp_path):
+        import subprocess
+        import sys
+
+        script = tmp_path / "parent.py"
+        script.write_text(_PARENT_SCRIPT)
+        proc = subprocess.run(
+            [sys.executable, str(script), "exit-without-close"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip().splitlines()[0]
+        assert _wait_for_unlink(name), (
+            f"/dev/shm/{name} leaked after parent exited without close()"
+        )
+
+    def test_parent_killed_hard_leaves_no_orphan_segment(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+
+        script = tmp_path / "parent.py"
+        script.write_text(_PARENT_SCRIPT)
+        proc = subprocess.Popen(
+            [sys.executable, str(script), "idle"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert name, "child never reported its segment name"
+            assert _segment_path(name).exists()
+            # SIGKILL: no atexit, no __del__, no finally in the parent.
+            # Workers see EOF on their pipes and exit; the multiprocessing
+            # resource tracker then unlinks the orphaned segment.
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            assert _wait_for_unlink(name), (
+                f"/dev/shm/{name} orphaned after SIGKILL of the parent"
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+            proc.stderr.close()
+
+    def test_workers_exit_cleanly_on_sigterm(self):
+        import os
+        import signal
+
+        venv = _make_env("shard", num_nodes=2, workers=2)
+        try:
+            # A command round-trip guarantees every worker reached its
+            # serve loop (and installed its SIGTERM handler) before we
+            # signal it.
+            assert len(venv.migration_counts()) == 2
+            procs = list(venv._procs)
+            assert procs
+            for proc in procs:
+                os.kill(proc.pid, signal.SIGTERM)
+            for proc in procs:
+                proc.join(timeout=10.0)
+                # The worker's SIGTERM handler raises SystemExit(0) so its
+                # finally-block shm cleanup runs; the default disposition
+                # would report -SIGTERM here.
+                assert proc.exitcode == 0
+        finally:
+            venv.close()

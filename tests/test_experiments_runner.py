@@ -310,6 +310,40 @@ def test_worker_crash_without_retries_synthesizes_manifests(
         assert "BrokenProcessPool" in manifest.error
 
 
+def test_strict_failure_not_masked_by_pool_crash(tmp_path, monkeypatch, many_cpus):
+    """A strict-mode failure that finished before a worker crash broke the
+    pool must re-raise promptly — not be masked as a crashed manifest or
+    delayed by the pool-rebuild backoff."""
+    import time as _time
+
+    import repro.experiments.registry as registry
+
+    def crash_or_fail(experiment_id, config=None):
+        if experiment_id == "mem":
+            import os as _os
+            import time as _wtime
+
+            # Busy-wait so the other worker's ValueError lands first,
+            # then die hard to break the pool.
+            deadline = _wtime.monotonic() + 1.0
+            while _wtime.monotonic() < deadline:
+                pass
+            _os._exit(13)
+        raise ValueError("strict failure in done future")
+
+    monkeypatch.setattr(registry, "run_experiment", crash_or_fail)
+    start = _time.monotonic()
+    with pytest.raises(ValueError, match="strict failure"):
+        run_experiments(
+            ["mem", "tab02"], out_dir=tmp_path, jobs=2, strict=True,
+            retry_backoff_s=60.0,
+        )
+    # Prompt abort: nowhere near the 60s backoff.
+    assert _time.monotonic() - start < 30.0
+    manifest = RunManifest.read(tmp_path / "tab02" / "manifest.json")
+    assert manifest.status == "failed"
+
+
 def test_checkpoint_every_requires_out_dir():
     with pytest.raises(ConfigurationError, match="checkpoint_every"):
         run_experiments(["mem"], checkpoint_every=10)

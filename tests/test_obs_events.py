@@ -62,6 +62,19 @@ SAMPLE_PAYLOADS = {
         source="runs/fleet/run.ckpt.npz", services=["masstree"],
         restart_epsilon_at=0,
     ),
+    "node_registered": dict(
+        node_id="node-0", address="127.0.0.1:7001", services=["masstree"],
+        epoch=2,
+    ),
+    "heartbeat_missed": dict(node_id="node-0", epoch=2, missed=1, state="degraded"),
+    "node_state_change": dict(
+        node_id="node-0", epoch=2, from_state="degraded", to_state="offline",
+        version=7, reason="deadline",
+    ),
+    "policy_rollout": dict(
+        version=3, source="runs/policy.npz", updated=7, failed=1,
+        nodes=["node-0", "node-1"],
+    ),
 }
 
 
